@@ -1,0 +1,71 @@
+"""Benchmarks for the design-choice ablations listed in DESIGN.md.
+
+These go beyond the paper's own figures: they quantify the penalty λ, the
+negative-weight-clipping choice, the anchor-point count of Section 3.3,
+and the solver choice on identical training problems.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.ablations import (
+    AblationRecord,
+    run_anchor_points_ablation,
+    run_clipping_ablation,
+    run_penalty_ablation,
+    run_solver_ablation,
+)
+
+
+def test_penalty_ablation(benchmark, once):
+    records = once(
+        run_penalty_ablation,
+        penalties=(1e2, 1e4, 1e6, 1e8),
+        train_queries=80,
+        test_queries=80,
+        row_count=30_000,
+    )
+    attach_report(benchmark, AblationRecord.render(records, "Ablation: penalty λ"))
+    # A larger penalty enforces the observed selectivities more tightly.
+    assert records[-1].constraint_residual <= records[0].constraint_residual
+
+
+def test_clipping_ablation(benchmark, once):
+    records = once(
+        run_clipping_ablation, train_queries=80, test_queries=80, row_count=30_000
+    )
+    attach_report(
+        benchmark, AblationRecord.render(records, "Ablation: clip negative weights")
+    )
+    by_setting = {record.setting: record for record in records}
+    # The paper's choice (no clipping) is at least as accurate as clipping.
+    assert (
+        by_setting["False"].absolute_error <= by_setting["True"].absolute_error
+    )
+
+
+def test_anchor_points_ablation(benchmark, once):
+    records = once(
+        run_anchor_points_ablation,
+        points_per_predicate=(1, 5, 10, 20),
+        train_queries=80,
+        test_queries=80,
+        row_count=30_000,
+    )
+    attach_report(
+        benchmark, AblationRecord.render(records, "Ablation: anchor points per predicate")
+    )
+    assert len(records) == 4
+
+
+def test_solver_ablation(benchmark, once):
+    records = once(
+        run_solver_ablation, train_queries=60, test_queries=60, row_count=30_000
+    )
+    attach_report(benchmark, AblationRecord.render(records, "Ablation: solver"))
+    by_setting = {record.setting: record for record in records}
+    # All solvers land on models of comparable quality (the analytic one is
+    # simply much faster, which Figure 6 measures).
+    analytic = by_setting["analytic"].absolute_error
+    for name, record in by_setting.items():
+        assert record.absolute_error < max(5 * analytic, 0.05), name

@@ -1,0 +1,80 @@
+"""Micro-benchmarks of QuickSel's hot paths.
+
+These are the operations whose cost the paper's headline numbers rest on:
+the per-query model refit (milliseconds, independent of data size) and the
+per-predicate estimate.  Unlike the figure benchmarks these use multiple
+pytest-benchmark rounds, so the timing statistics are meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.quicksel import QuickSel
+from repro.core.subpopulation import SubpopulationBuilder
+from repro.core.training import ObservedQuery, build_problem
+from repro.estimators.base import as_region
+from repro.solvers.analytic import solve_penalized_qp
+from repro.workloads.queries import RandomRangeQueryGenerator, labelled_feedback
+from repro.workloads.synthetic import gaussian_dataset
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = gaussian_dataset(30_000, dimension=2, correlation=0.5, seed=0)
+    generator = RandomRangeQueryGenerator(dataset.domain, seed=1)
+    feedback = labelled_feedback(generator.generate(200), dataset.rows)
+    return dataset, feedback
+
+
+@pytest.mark.parametrize("observed", [50, 200])
+def test_refit_time(benchmark, workload, observed):
+    """Full model refit (subpopulations + matrices + analytic solve)."""
+    dataset, feedback = workload
+    estimator = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+    estimator.observe_many(feedback[:observed])
+
+    stats = benchmark(estimator.refit)
+    assert stats.constraint_residual < 1e-3
+    benchmark.extra_info["observed_queries"] = observed
+    benchmark.extra_info["subpopulations"] = stats.subpopulations
+
+
+def test_estimate_time(benchmark, workload):
+    """Per-predicate estimation latency on a trained model."""
+    dataset, feedback = workload
+    estimator = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+    estimator.observe_many(feedback[:100], refit=True)
+    predicate = feedback[100][0]
+
+    estimate = benchmark(estimator.estimate, predicate)
+    assert 0.0 <= estimate <= 1.0
+
+
+def test_analytic_solve_time(benchmark, workload):
+    """The closed-form solve of Problem 3 in isolation (Figure 6's fast path)."""
+    dataset, feedback = workload
+    config = QuickSelConfig(random_seed=0)
+    builder = SubpopulationBuilder(dataset.domain, config)
+    rng = np.random.default_rng(0)
+    regions = [as_region(p, dataset.domain) for p, _ in feedback[:150]]
+    queries = [
+        ObservedQuery(region=r, selectivity=s)
+        for r, (_, s) in zip(regions, feedback[:150])
+    ]
+    subpopulations = builder.build(regions, rng)
+    problem = build_problem(subpopulations, queries, domain=dataset.domain)
+
+    result = benchmark(solve_penalized_qp, problem.Q, problem.A, problem.s)
+    assert result.constraint_residual < 1e-3
+
+
+def test_true_selectivity_scan_time(benchmark, workload):
+    """Cost of labelling one query by scanning the data (what engines pay anyway)."""
+    dataset, feedback = workload
+    predicate = feedback[0][0]
+    selectivity = benchmark(predicate.selectivity, dataset.rows)
+    assert 0.0 <= selectivity <= 1.0

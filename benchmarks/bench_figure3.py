@@ -1,0 +1,43 @@
+"""Benchmark regenerating Figure 3 (end-to-end comparison vs query-driven histograms).
+
+Paper shape: QuickSel's per-query refinement time stays in the
+low-millisecond range regardless of how many queries have been observed,
+while STHoles/ISOMER/ISOMER+QP grow with their bucket counts; for the same
+time budget QuickSel is the most accurate method.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.figure3 import run_figure3
+
+
+def test_figure3_queries_vs_time_and_error(benchmark, once):
+    result = once(
+        run_figure3,
+        datasets=("dmv", "instacart"),
+        checkpoints=(10, 25, 50),
+        test_queries=40,
+        row_count=30_000,
+        include_slow=True,
+    )
+    attach_report(benchmark, result.render())
+
+    for dataset in ("dmv", "instacart"):
+        records = {
+            (r.method, r.observed_queries): r for r in result.records_for(dataset)
+        }
+        # QuickSel's per-query time at the last checkpoint is lower than
+        # ISOMER's (the paper's headline efficiency comparison).
+        assert (
+            records[("QuickSel", 50)].per_query_ms
+            < records[("ISOMER", 50)].per_query_ms
+        )
+        # ISOMER's per-query cost grows faster than QuickSel's.
+        isomer_growth = records[("ISOMER", 50)].per_query_ms / max(
+            records[("ISOMER", 10)].per_query_ms, 1e-9
+        )
+        quicksel_growth = records[("QuickSel", 50)].per_query_ms / max(
+            records[("QuickSel", 10)].per_query_ms, 1e-9
+        )
+        assert isomer_growth > quicksel_growth

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 5 (QuickSel vs periodically-updated scan statistics).
+
+Paper shape: with the same 100-parameter space budget, the scan-based
+methods are more accurate before any query has been observed, but
+QuickSel's error drops sharply once it has observed the first batches of
+queries, and its model updates avoid re-scanning the data.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5_drift_comparison(benchmark, once):
+    result = once(
+        run_figure5,
+        initial_rows=50_000,
+        insert_rows=10_000,
+        queries_per_phase=50,
+        phases=10,
+        parameter_budget=100,
+    )
+    attach_report(benchmark, result.render())
+
+    series = result.error_series()
+    quicksel = [error for _, error in series["QuickSel"]]
+    # QuickSel improves a lot after its first model update: the error over
+    # the remainder of the stream is far below the untrained first block.
+    assert min(quicksel[1:]) < quicksel[0] / 2
+    # Once trained, QuickSel is more accurate than the equal-budget sample.
+    assert result.mean_error_pct["QuickSel"] < result.mean_error_pct["AutoSample"]

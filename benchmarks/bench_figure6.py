@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 6 (standard QP vs QuickSel's analytic QP).
+
+Paper shape: the analytic solution of Problem 3 is several times faster
+than solving the constrained QP iteratively, and the gap widens as the
+number of observed queries grows (the paper reports 8.36× at 1000 queries).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6_solver_runtime(benchmark, once):
+    result = once(
+        run_figure6,
+        query_counts=(50, 100, 200, 400),
+        include_scipy=True,
+        max_scipy_queries=50,
+        row_count=20_000,
+    )
+    attach_report(benchmark, result.render())
+
+    # The analytic solver wins at every measured problem size.
+    for count in (50, 100, 200, 400):
+        assert result.speedup_at(count) > 1.0

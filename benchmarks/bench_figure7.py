@@ -1,0 +1,45 @@
+"""Benchmark regenerating Figure 7 (robustness to correlation, shifts, budget, dimension).
+
+Paper shapes:
+
+* 7a — error essentially flat across data correlations,
+* 7b — random-shift workloads have the highest error, but it still drops
+  as more queries are observed,
+* 7c — error falls sharply once the model has ≈50+ parameters,
+* 7d — AutoHist degrades quickly as dimensionality grows; QuickSel and
+  AutoSample are far less sensitive.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.figure7 import run_figure7
+
+
+def test_figure7_robustness(benchmark, once):
+    result = once(run_figure7, small=True, row_count=30_000)
+    attach_report(benchmark, result.render())
+
+    # 7a: errors stay bounded across correlations (no blow-up at high corr).
+    errors_7a = [p.relative_error_pct for p in result.correlation_points]
+    assert max(errors_7a) < 60.0
+
+    # 7c: more parameters give lower error.
+    by_budget = sorted(result.parameter_points, key=lambda p: p.parameter_count)
+    assert by_budget[-1].relative_error_pct < by_budget[0].relative_error_pct
+
+    # 7d: AutoHist degrades with dimension far more than AutoSample.
+    auto_hist = {p.dimension: p.relative_error_pct for p in result.dimension_points if p.method == "AutoHist"}
+    dims = sorted(auto_hist)
+    assert auto_hist[dims[-1]] > auto_hist[dims[0]]
+
+    # 7b: for every shift scenario the error after the full stream is no
+    # worse than after the first block (learning keeps up with the shift).
+    by_scenario: dict[str, list[tuple[int, float]]] = {}
+    for point in result.shift_points:
+        by_scenario.setdefault(point.scenario, []).append(
+            (point.query_sequence_end, point.relative_error_pct)
+        )
+    for scenario, points in by_scenario.items():
+        points.sort()
+        assert points[-1][1] <= points[0][1] * 2.0, scenario

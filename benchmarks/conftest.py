@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+laptop-friendly scale and attaches the rendered rows/series to the
+pytest-benchmark ``extra_info`` (and prints them when run with ``-s``), so
+``pytest benchmarks/ --benchmark-only`` reproduces the evaluation artefacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach_report(benchmark, report: str, max_chars: int = 4000) -> None:
+    """Attach a text report to the benchmark record and echo it."""
+    benchmark.extra_info["report"] = report[:max_chars]
+    print("\n" + report)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once` for terser benchmark bodies."""
+
+    def runner(function, *args, **kwargs):
+        return run_once(benchmark, function, *args, **kwargs)
+
+    return runner

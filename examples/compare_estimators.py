@@ -1,0 +1,92 @@
+"""Compare QuickSel against the paper's baselines on the DMV-like workload.
+
+Trains every query-driven estimator (QuickSel, STHoles, ISOMER, ISOMER+QP,
+QueryModel) on the same stream of observed queries over the synthetic DMV
+stand-in, plus the scan-based AutoHist/AutoSample/KDE estimators built from
+the data itself, then reports error, model size, and training time — a
+miniature version of the paper's Figure 3 / Figure 4 / Figure 5 story.
+
+Run with:  python examples/compare_estimators.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import QuickSelConfig
+from repro.core.quicksel import QuickSel
+from repro.estimators import (
+    AutoHist,
+    AutoSample,
+    Isomer,
+    IsomerQP,
+    KDEEstimator,
+    QueryModel,
+    STHoles,
+)
+from repro.experiments.datasets import make_bundle
+from repro.experiments.harness import evaluate
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    bundle = make_bundle("dmv", train_queries=60, test_queries=80, row_count=60_000)
+    print(
+        f"DMV stand-in: {bundle.row_count} rows, {len(bundle.train)} training "
+        f"queries, {len(bundle.test)} test queries\n"
+    )
+
+    rows = []
+
+    query_driven = {
+        "QuickSel": QuickSel(bundle.domain, QuickSelConfig(random_seed=0)),
+        "STHoles": STHoles(bundle.domain, max_buckets=2000),
+        "ISOMER": Isomer(bundle.domain),
+        "ISOMER+QP": IsomerQP(bundle.domain),
+        "QueryModel": QueryModel(bundle.domain),
+    }
+    for name, estimator in query_driven.items():
+        start = time.perf_counter()
+        for predicate, selectivity in bundle.train:
+            estimator.observe(predicate, selectivity)
+        if isinstance(estimator, QuickSel):
+            estimator.refit()
+        train_seconds = time.perf_counter() - start
+        relative, absolute, _ = evaluate(estimator, bundle.test)
+        rows.append(
+            {
+                "method": name,
+                "kind": "query-driven",
+                "parameters": estimator.parameter_count,
+                "rel_error_pct": relative,
+                "abs_error": absolute,
+                "train_seconds": train_seconds,
+            }
+        )
+
+    scan_based = {
+        "AutoHist": AutoHist(bundle.domain, lambda: bundle.rows, bucket_budget=1000),
+        "AutoSample": AutoSample(bundle.domain, lambda: bundle.rows, sample_size=1000),
+        "KDE": KDEEstimator(bundle.domain, lambda: bundle.rows, sample_size=1000),
+    }
+    for name, estimator in scan_based.items():
+        start = time.perf_counter()
+        estimator.refresh()
+        train_seconds = time.perf_counter() - start
+        relative, absolute, _ = evaluate(estimator, bundle.test)
+        rows.append(
+            {
+                "method": name,
+                "kind": "scan-based",
+                "parameters": estimator.parameter_count,
+                "rel_error_pct": relative,
+                "abs_error": absolute,
+                "train_seconds": train_seconds,
+            }
+        )
+
+    print(format_table(rows, title="Estimator comparison on the DMV stand-in"))
+
+
+if __name__ == "__main__":
+    main()

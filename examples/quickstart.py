@@ -1,0 +1,61 @@
+"""Quickstart: learn selectivities from query feedback with QuickSel.
+
+This is the smallest end-to-end use of the library:
+
+1. create a data domain and a QuickSel estimator,
+2. feed it (predicate, true selectivity) pairs as queries "execute",
+3. ask it to estimate the selectivity of new predicates.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hyperrectangle, QuickSel, QuickSelConfig, box_predicate
+from repro.workloads.synthetic import gaussian_dataset
+
+
+def main() -> None:
+    # A 2-column table whose joint distribution is a correlated Gaussian.
+    dataset = gaussian_dataset(row_count=50_000, correlation=0.6, seed=0)
+    data = dataset.rows
+    domain: Hyperrectangle = dataset.domain
+
+    estimator = QuickSel(domain, QuickSelConfig(random_seed=0))
+    rng = np.random.default_rng(1)
+
+    # Simulate a running workload: each executed query reports the
+    # selectivity the engine actually observed.
+    print("Observing 80 queries ...")
+    for _ in range(80):
+        low = rng.uniform(0.0, 0.6, size=2)
+        high = np.minimum(low + rng.uniform(0.15, 0.45, size=2), 1.0)
+        predicate = box_predicate([(0, low[0], high[0]), (1, low[1], high[1])])
+        true_selectivity = predicate.selectivity(data)
+        estimator.observe(predicate, true_selectivity)
+
+    stats = estimator.refit()
+    print(
+        f"Model refit: {stats.subpopulations} subpopulations, "
+        f"{stats.total_seconds * 1000:.1f} ms, "
+        f"constraint residual {stats.constraint_residual:.2e}"
+    )
+
+    # Estimate selectivities of unseen predicates and compare to the truth.
+    print("\npredicate                          true    estimate")
+    for _ in range(8):
+        low = rng.uniform(0.0, 0.6, size=2)
+        high = np.minimum(low + rng.uniform(0.15, 0.45, size=2), 1.0)
+        predicate = box_predicate([(0, low[0], high[0]), (1, low[1], high[1])])
+        truth = predicate.selectivity(data)
+        estimate = estimator.estimate(predicate)
+        label = (
+            f"[{low[0]:.2f},{high[0]:.2f}] x [{low[1]:.2f},{high[1]:.2f}]"
+        )
+        print(f"{label:34s} {truth:6.4f}  {estimate:6.4f}")
+
+
+if __name__ == "__main__":
+    main()

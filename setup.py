@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that offline environments without the ``wheel`` package can still perform
+an editable install through ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Reproduction of *QuickSel: Quick Selectivity Learning with Mixture Models*.
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: the uniform mixture model,
+  subpopulation construction, and the penalised-QP training pipeline.
+* :mod:`repro.solvers` — the numerical solvers (analytic, projected
+  gradient, SciPy SLSQP, iterative scaling).
+* :mod:`repro.estimators` — baseline selectivity estimators from the
+  paper's evaluation (STHoles, ISOMER, ISOMER+QP, QueryModel, AutoHist,
+  AutoSample, KDE).
+* :mod:`repro.engine` — a miniature in-memory DBMS substrate: tables,
+  query execution (true selectivities), selectivity feedback, a cost-based
+  access-path optimizer, and independence-based join estimation.
+* :mod:`repro.workloads` — synthetic data and query generators standing in
+  for the DMV, Instacart, and Gaussian datasets of the evaluation.
+* :mod:`repro.experiments` — the harness that regenerates every table and
+  figure of the paper's evaluation section.
+"""
+
+from repro.core import (
+    BoxPredicate,
+    Hyperrectangle,
+    Interval,
+    Predicate,
+    QuickSel,
+    QuickSelConfig,
+    Region,
+    TruePredicate,
+    UniformMixtureModel,
+    box_predicate,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Interval",
+    "Hyperrectangle",
+    "Region",
+    "Predicate",
+    "TruePredicate",
+    "BoxPredicate",
+    "box_predicate",
+    "QuickSel",
+    "QuickSelConfig",
+    "UniformMixtureModel",
+]

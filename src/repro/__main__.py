@@ -1,0 +1,6 @@
+"""``python -m repro`` — run the paper's evaluation experiments from the shell."""
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    main()

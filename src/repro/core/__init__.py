@@ -1,0 +1,68 @@
+"""QuickSel's core: geometry, predicates, the uniform mixture model, training.
+
+The public surface of the paper's contribution:
+
+* :class:`~repro.core.geometry.Hyperrectangle` / :class:`~repro.core.region.Region`
+  — the geometric substrate,
+* :mod:`repro.core.predicate` — the predicate algebra of Section 2.2,
+* :class:`~repro.core.mixture.UniformMixtureModel` — the model of Section 3,
+* :class:`~repro.core.quicksel.QuickSel` — the query-driven estimator with
+  the observe/estimate loop, backed by the training pipeline of Section 4.
+"""
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle, Interval
+from repro.core.mixture import UniformMixtureModel
+from repro.core.predicate import (
+    BoxPredicate,
+    Conjunction,
+    Disjunction,
+    EqualityConstraint,
+    Negation,
+    Predicate,
+    RangeConstraint,
+    TruePredicate,
+    and_,
+    box_predicate,
+    not_,
+    or_,
+)
+from repro.core.quicksel import QuickSel, RefitStats
+from repro.core.region import Region
+from repro.core.subpopulation import Subpopulation, SubpopulationBuilder
+from repro.core.training import (
+    ObservedQuery,
+    TrainingProblem,
+    TrainingResult,
+    build_problem,
+    solve,
+)
+
+__all__ = [
+    "Interval",
+    "Hyperrectangle",
+    "Region",
+    "Predicate",
+    "TruePredicate",
+    "BoxPredicate",
+    "Conjunction",
+    "Disjunction",
+    "Negation",
+    "RangeConstraint",
+    "EqualityConstraint",
+    "box_predicate",
+    "and_",
+    "or_",
+    "not_",
+    "QuickSelConfig",
+    "Subpopulation",
+    "SubpopulationBuilder",
+    "UniformMixtureModel",
+    "ObservedQuery",
+    "TrainingProblem",
+    "TrainingResult",
+    "build_problem",
+    "solve",
+    "QuickSel",
+    "RefitStats",
+]

@@ -1,0 +1,364 @@
+"""Predicate algebra for selectivity estimation.
+
+The paper's problem statement (Section 2) treats every selection predicate
+as a constraint on a table's columns; conjunctions of range constraints
+map to hyperrectangles, while negations and disjunctions map to unions of
+hyperrectangles.  This module provides that algebra over *dimension
+indices* (column ``i`` of the domain ``B0``), keeping the core library
+independent of any table schema.  The engine layer
+(:mod:`repro.engine.query`) resolves column names and discrete/categorical
+encodings down to these objects.
+
+Supported predicate forms (matching Section 2.2):
+
+* ``RangeConstraint`` — one- or two-sided range on one dimension,
+* ``EqualityConstraint`` — equality, encoded as the range ``[v, v + width)``
+  where ``width`` is 1 for discrete columns and 0 for continuous ones,
+* ``Conjunction`` (AND), ``Disjunction`` (OR), ``Negation`` (NOT),
+* ``TruePredicate`` — the empty predicate ``P_0`` selecting all tuples.
+
+Every predicate can be lowered to a :class:`~repro.core.region.Region`
+(union of disjoint boxes) within a given domain, which is all QuickSel and
+the baseline estimators need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.region import Region
+from repro.exceptions import PredicateError
+
+__all__ = [
+    "Constraint",
+    "RangeConstraint",
+    "EqualityConstraint",
+    "Predicate",
+    "TruePredicate",
+    "BoxPredicate",
+    "Conjunction",
+    "Disjunction",
+    "Negation",
+    "box_predicate",
+    "and_",
+    "or_",
+    "not_",
+]
+
+
+class Constraint:
+    """A restriction on one dimension of the domain."""
+
+    __slots__ = ()
+
+    @property
+    def dim(self) -> int:  # pragma: no cover - abstract accessor
+        raise NotImplementedError
+
+    def bounds_within(self, domain: Hyperrectangle) -> tuple[float, float]:
+        """Return the ``(low, high)`` interval this constraint selects."""
+        raise NotImplementedError
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation against a 1-D array of column values."""
+        raise NotImplementedError
+
+
+class RangeConstraint(Constraint):
+    """``low <= C_dim <= high`` with optional one-sided bounds.
+
+    ``None`` on either side means "unbounded on that side"; the bound is
+    filled in from the domain when the constraint is lowered to a box.
+    """
+
+    __slots__ = ("_dim", "low", "high")
+
+    def __init__(
+        self, dim: int, low: float | None = None, high: float | None = None
+    ) -> None:
+        if dim < 0:
+            raise PredicateError("dimension index must be non-negative")
+        if low is None and high is None:
+            raise PredicateError(
+                "a range constraint needs at least one finite bound"
+            )
+        if low is not None and high is not None and float(low) > float(high):
+            raise PredicateError(
+                f"range constraint lower bound {low} exceeds upper bound {high}"
+            )
+        self._dim = int(dim)
+        self.low = None if low is None else float(low)
+        self.high = None if high is None else float(high)
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def bounds_within(self, domain: Hyperrectangle) -> tuple[float, float]:
+        domain_low, domain_high = domain.bounds[self._dim]
+        low = domain_low if self.low is None else max(self.low, domain_low)
+        high = domain_high if self.high is None else min(self.high, domain_high)
+        if low > high:
+            # The constraint selects nothing inside the domain; report a
+            # degenerate zero-width interval pinned at the domain edge.
+            low = high = min(max(low, domain_low), domain_high)
+        return (low, high)
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        result = np.ones(values.shape[0], dtype=bool)
+        if self.low is not None:
+            result &= values >= self.low
+        if self.high is not None:
+            result &= values <= self.high
+        return result
+
+    def __repr__(self) -> str:
+        return f"RangeConstraint(dim={self._dim}, low={self.low}, high={self.high})"
+
+
+class EqualityConstraint(Constraint):
+    """``C_dim = value``.
+
+    Following Section 2.2 of the paper, equality on a discrete column is
+    modelled as the half-open range ``[value, value + width)`` where the
+    engine picks ``width = 1`` for integer/categorical codes.  For truly
+    continuous columns ``width = 0`` gives a measure-zero (degenerate)
+    box, which still evaluates correctly against actual rows.
+    """
+
+    __slots__ = ("_dim", "value", "width")
+
+    def __init__(self, dim: int, value: float, width: float = 1.0) -> None:
+        if dim < 0:
+            raise PredicateError("dimension index must be non-negative")
+        if width < 0:
+            raise PredicateError("width must be non-negative")
+        self._dim = int(dim)
+        self.value = float(value)
+        self.width = float(width)
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def bounds_within(self, domain: Hyperrectangle) -> tuple[float, float]:
+        domain_low, domain_high = domain.bounds[self._dim]
+        low = max(self.value, domain_low)
+        high = min(self.value + self.width, domain_high)
+        if low > high:
+            low = high = min(max(low, domain_low), domain_high)
+        return (low, high)
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        if self.width == 0.0:
+            return values == self.value
+        return (values >= self.value) & (values < self.value + self.width)
+
+    def __repr__(self) -> str:
+        return (
+            f"EqualityConstraint(dim={self._dim}, value={self.value}, "
+            f"width={self.width})"
+        )
+
+
+class Predicate:
+    """Base class of the predicate algebra."""
+
+    __slots__ = ()
+
+    def to_region(self, domain: Hyperrectangle) -> Region:
+        """Lower the predicate to a union of disjoint boxes inside ``domain``."""
+        raise NotImplementedError
+
+    def matches(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised truth value of the predicate over ``(n, d)`` rows."""
+        raise NotImplementedError
+
+    def selectivity(self, points: np.ndarray) -> float:
+        """Exact fraction of ``points`` satisfying the predicate."""
+        rows = np.asarray(points, dtype=float)
+        if rows.shape[0] == 0:
+            return 0.0
+        return float(self.matches(rows).mean())
+
+    # Operator sugar -----------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Conjunction([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Disjunction([self, other])
+
+    def __invert__(self) -> "Predicate":
+        return Negation(self)
+
+
+class TruePredicate(Predicate):
+    """The empty predicate ``P_0`` — selects every tuple (selectivity 1)."""
+
+    __slots__ = ()
+
+    def to_region(self, domain: Hyperrectangle) -> Region:
+        return Region.from_box(domain)
+
+    def matches(self, points: np.ndarray) -> np.ndarray:
+        return np.ones(np.asarray(points).shape[0], dtype=bool)
+
+    def __repr__(self) -> str:
+        return "TruePredicate()"
+
+
+class BoxPredicate(Predicate):
+    """A conjunction of per-dimension constraints (one hyperrectangle).
+
+    This is the workhorse predicate of the paper's evaluation: every
+    conjunct of one- or two-sided range constraints (and encoded equality
+    constraints) collapses to a single box.
+    """
+
+    __slots__ = ("constraints",)
+
+    def __init__(self, constraints: Iterable[Constraint]) -> None:
+        constraint_list = list(constraints)
+        if not constraint_list:
+            raise PredicateError(
+                "BoxPredicate needs at least one constraint; "
+                "use TruePredicate for the empty predicate"
+            )
+        self.constraints = tuple(constraint_list)
+
+    def to_box(self, domain: Hyperrectangle) -> Hyperrectangle:
+        """Return the hyperrectangle this predicate selects inside ``domain``."""
+        bounds = domain.as_array()
+        for constraint in self.constraints:
+            if constraint.dim >= domain.dimension:
+                raise PredicateError(
+                    f"constraint on dimension {constraint.dim} exceeds "
+                    f"domain dimension {domain.dimension}"
+                )
+            low, high = constraint.bounds_within(domain)
+            bounds[constraint.dim, 0] = max(bounds[constraint.dim, 0], low)
+            bounds[constraint.dim, 1] = min(bounds[constraint.dim, 1], high)
+            if bounds[constraint.dim, 0] > bounds[constraint.dim, 1]:
+                bounds[constraint.dim, 1] = bounds[constraint.dim, 0]
+        return Hyperrectangle(bounds)
+
+    def to_region(self, domain: Hyperrectangle) -> Region:
+        return Region.from_box(self.to_box(domain))
+
+    def matches(self, points: np.ndarray) -> np.ndarray:
+        rows = np.asarray(points, dtype=float)
+        result = np.ones(rows.shape[0], dtype=bool)
+        for constraint in self.constraints:
+            result &= constraint.matches(rows[:, constraint.dim])
+        return result
+
+    def __repr__(self) -> str:
+        return f"BoxPredicate({list(self.constraints)!r})"
+
+
+class Conjunction(Predicate):
+    """Logical AND of arbitrary child predicates."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Predicate]) -> None:
+        child_list = list(children)
+        if not child_list:
+            raise PredicateError("Conjunction needs at least one child")
+        self.children = tuple(child_list)
+
+    def to_region(self, domain: Hyperrectangle) -> Region:
+        region = self.children[0].to_region(domain)
+        for child in self.children[1:]:
+            region = region.intersect(child.to_region(domain))
+        return region
+
+    def matches(self, points: np.ndarray) -> np.ndarray:
+        rows = np.asarray(points, dtype=float)
+        result = np.ones(rows.shape[0], dtype=bool)
+        for child in self.children:
+            result &= child.matches(rows)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Conjunction({list(self.children)!r})"
+
+
+class Disjunction(Predicate):
+    """Logical OR of arbitrary child predicates."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Predicate]) -> None:
+        child_list = list(children)
+        if not child_list:
+            raise PredicateError("Disjunction needs at least one child")
+        self.children = tuple(child_list)
+
+    def to_region(self, domain: Hyperrectangle) -> Region:
+        region = self.children[0].to_region(domain)
+        for child in self.children[1:]:
+            region = region.union(child.to_region(domain))
+        return region
+
+    def matches(self, points: np.ndarray) -> np.ndarray:
+        rows = np.asarray(points, dtype=float)
+        result = np.zeros(rows.shape[0], dtype=bool)
+        for child in self.children:
+            result |= child.matches(rows)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Disjunction({list(self.children)!r})"
+
+
+class Negation(Predicate):
+    """Logical NOT of a child predicate."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Predicate) -> None:
+        self.child = child
+
+    def to_region(self, domain: Hyperrectangle) -> Region:
+        return self.child.to_region(domain).complement(domain)
+
+    def matches(self, points: np.ndarray) -> np.ndarray:
+        return ~self.child.matches(points)
+
+    def __repr__(self) -> str:
+        return f"Negation({self.child!r})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def box_predicate(
+    ranges: Sequence[tuple[int, float | None, float | None]]
+) -> BoxPredicate:
+    """Build a conjunctive range predicate from ``(dim, low, high)`` triples."""
+    return BoxPredicate(
+        [RangeConstraint(dim, low, high) for dim, low, high in ranges]
+    )
+
+
+def and_(*predicates: Predicate) -> Predicate:
+    """Conjunction of predicates (single predicates pass through)."""
+    if len(predicates) == 1:
+        return predicates[0]
+    return Conjunction(predicates)
+
+
+def or_(*predicates: Predicate) -> Predicate:
+    """Disjunction of predicates (single predicates pass through)."""
+    if len(predicates) == 1:
+        return predicates[0]
+    return Disjunction(predicates)
+
+
+def not_(predicate: Predicate) -> Predicate:
+    """Negation of a predicate."""
+    return Negation(predicate)

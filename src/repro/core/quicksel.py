@@ -1,0 +1,231 @@
+"""The QuickSel selectivity-learning estimator (the paper's contribution).
+
+:class:`QuickSel` ties the pieces together into the query-driven loop the
+paper describes:
+
+* :meth:`QuickSel.observe` records ``(predicate, true selectivity)``
+  feedback as it arrives from the execution engine,
+* :meth:`QuickSel.refit` (or lazy refitting on the next estimate)
+  rebuilds the subpopulations for the observed workload and solves the
+  penalised quadratic program for the mixture weights, and
+* :meth:`QuickSel.estimate` returns the model's selectivity estimate for
+  a new predicate.
+
+The estimator also implements the shared
+:class:`repro.estimators.base.SelectivityEstimator` protocol so the
+experiment harness can drive it interchangeably with the baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.mixture import UniformMixtureModel
+from repro.core.predicate import Predicate
+from repro.core.region import Region
+from repro.core.subpopulation import SubpopulationBuilder
+from repro.core.training import ObservedQuery, build_problem, solve
+from repro.exceptions import EstimatorError, TrainingError
+
+__all__ = ["QuickSel", "RefitStats"]
+
+
+@dataclass(frozen=True)
+class RefitStats:
+    """Diagnostics for the most recent model refit."""
+
+    observed_queries: int
+    subpopulations: int
+    solver: str
+    constraint_residual: float
+    build_seconds: float
+    solve_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Total refit wall-clock time."""
+        return self.build_seconds + self.solve_seconds
+
+
+class QuickSel:
+    """Query-driven selectivity learning with a uniform mixture model."""
+
+    name = "QuickSel"
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        config: QuickSelConfig | None = None,
+    ) -> None:
+        self._domain = domain
+        self._config = config or QuickSelConfig()
+        self._rng = np.random.default_rng(self._config.random_seed)
+        self._builder = SubpopulationBuilder(domain, self._config)
+        self._queries: list[ObservedQuery] = []
+        self._model: UniformMixtureModel | None = None
+        self._stale = True
+        self._last_refit: RefitStats | None = None
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> Hyperrectangle:
+        """The data domain ``B_0``."""
+        return self._domain
+
+    @property
+    def config(self) -> QuickSelConfig:
+        """The estimator configuration."""
+        return self._config
+
+    @property
+    def observed_queries(self) -> Sequence[ObservedQuery]:
+        """All feedback recorded so far."""
+        return tuple(self._queries)
+
+    @property
+    def observed_count(self) -> int:
+        """Number of observed queries ``n``."""
+        return len(self._queries)
+
+    @property
+    def model(self) -> UniformMixtureModel | None:
+        """The current mixture model (None before the first refit)."""
+        return self._model
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of model parameters (mixture weights)."""
+        return 0 if self._model is None else self._model.parameter_count
+
+    @property
+    def last_refit(self) -> RefitStats | None:
+        """Diagnostics of the most recent refit (None before the first)."""
+        return self._last_refit
+
+    # ------------------------------------------------------------------
+    # The query-driven learning loop
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        predicate: Predicate | Hyperrectangle | Region,
+        selectivity: float,
+        refit: bool = False,
+    ) -> None:
+        """Record one piece of feedback ``(P_i, s_i)``.
+
+        Args:
+            predicate: the executed query's predicate, as a
+                :class:`~repro.core.predicate.Predicate`, a raw box, or a
+                region.
+            selectivity: the true selectivity measured by the engine.
+            refit: retrain immediately instead of lazily on the next
+                estimate.
+        """
+        region = self._as_region(predicate)
+        self._queries.append(ObservedQuery(region=region, selectivity=selectivity))
+        self._stale = True
+        if refit:
+            self.refit()
+
+    def observe_many(
+        self,
+        feedback: Sequence[tuple[Predicate | Hyperrectangle | Region, float]],
+        refit: bool = False,
+    ) -> None:
+        """Record a batch of feedback pairs."""
+        for predicate, selectivity in feedback:
+            self.observe(predicate, selectivity, refit=False)
+        if refit:
+            self.refit()
+
+    def refit(self) -> RefitStats:
+        """Rebuild subpopulations and solve for the mixture weights."""
+        build_start = time.perf_counter()
+        regions = [query.region for query in self._queries]
+        subpopulations = self._builder.build(regions, self._rng)
+        problem = build_problem(
+            subpopulations,
+            self._queries,
+            domain=self._domain,
+            include_default_query=self._config.include_default_query,
+        )
+        build_seconds = time.perf_counter() - build_start
+
+        solve_start = time.perf_counter()
+        result = solve(
+            problem,
+            solver=self._config.solver,
+            penalty=self._config.penalty,
+            regularization=self._config.regularization,
+        )
+        solve_seconds = time.perf_counter() - solve_start
+
+        model = UniformMixtureModel(subpopulations, result.weights)
+        if self._config.clip_negative_weights:
+            model = model.clipped()
+        self._model = model
+        self._stale = False
+        self._last_refit = RefitStats(
+            observed_queries=len(self._queries),
+            subpopulations=len(subpopulations),
+            solver=result.solver,
+            constraint_residual=result.constraint_residual,
+            build_seconds=build_seconds,
+            solve_seconds=solve_seconds,
+        )
+        return self._last_refit
+
+    def estimate(self, predicate: Predicate | Hyperrectangle | Region) -> float:
+        """Estimate the selectivity of a new predicate.
+
+        Before any query has been observed the model is the uniform
+        distribution over the domain, so the estimate is simply the
+        predicate's volume fraction -- matching the paper's initial state
+        with only the default query ``(P_0, 1)``.
+        """
+        if self._stale or self._model is None:
+            self.refit()
+        assert self._model is not None
+        region = self._as_region(predicate)
+        return self._model.estimate(region)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _as_region(
+        self, predicate: Predicate | Hyperrectangle | Region
+    ) -> Region:
+        if isinstance(predicate, Region):
+            if predicate.dimension != self._domain.dimension:
+                raise EstimatorError(
+                    "predicate dimension does not match the domain"
+                )
+            return predicate
+        if isinstance(predicate, Hyperrectangle):
+            if predicate.dimension != self._domain.dimension:
+                raise EstimatorError(
+                    "predicate dimension does not match the domain"
+                )
+            clipped = predicate.intersection(self._domain)
+            if clipped is None:
+                return Region.empty(self._domain.dimension)
+            return Region.from_box(clipped)
+        if isinstance(predicate, Predicate):
+            return predicate.to_region(self._domain)
+        raise EstimatorError(
+            f"unsupported predicate type {type(predicate).__name__}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuickSel(observed={self.observed_count}, "
+            f"parameters={self.parameter_count}, solver={self._config.solver!r})"
+        )

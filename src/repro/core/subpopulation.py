@@ -1,0 +1,166 @@
+"""Subpopulation construction (Section 3.3 of the paper).
+
+QuickSel's mixture model needs the supports ``G_z`` of its ``m``
+subpopulations before it can fit their weights.  The paper's recipe:
+
+1. inside each observed predicate's range, generate a handful of random
+   *anchor points* (10 by default) so that regions touched by many
+   predicates accumulate many points,
+2. simple-random-sample ``m`` of those points as subpopulation *centres*,
+3. give each centre a box whose side length is the average distance to
+   its 10 nearest fellow centres, so neighbouring boxes slightly overlap
+   and jointly cover the anchor cloud.
+
+The construction is orthogonal to training (the paper notes any
+alternative works with the same solver), so it lives in its own module
+and is exercised independently by the tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.region import Region
+from repro.exceptions import TrainingError
+
+__all__ = ["Subpopulation", "SubpopulationBuilder", "generate_anchor_points"]
+
+
+@dataclass(frozen=True)
+class Subpopulation:
+    """One mixture component: a uniform distribution over ``box``."""
+
+    box: Hyperrectangle
+    center: np.ndarray
+
+    @property
+    def volume(self) -> float:
+        """Measure of the support box."""
+        return self.box.volume
+
+
+def generate_anchor_points(
+    regions: Sequence[Region],
+    points_per_predicate: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample workload-representative anchor points from predicate regions.
+
+    Returns an ``(n * points_per_predicate, d)`` array (regions that are
+    empty contribute nothing).
+    """
+    chunks = [
+        region.sample_points(points_per_predicate, rng)
+        for region in regions
+        if not region.is_empty
+    ]
+    if not chunks:
+        raise TrainingError("no non-empty predicate regions to anchor on")
+    return np.concatenate(chunks, axis=0)
+
+
+class SubpopulationBuilder:
+    """Builds subpopulation boxes from observed predicate regions."""
+
+    def __init__(self, domain: Hyperrectangle, config: QuickSelConfig) -> None:
+        self._domain = domain
+        self._config = config
+
+    @property
+    def domain(self) -> Hyperrectangle:
+        """The data domain ``B0`` subpopulations are clipped to."""
+        return self._domain
+
+    def build(
+        self,
+        regions: Sequence[Region],
+        rng: np.random.Generator,
+        budget: int | None = None,
+    ) -> list[Subpopulation]:
+        """Construct subpopulations for the observed predicate regions.
+
+        Args:
+            regions: one region per observed query (excluding the default
+                whole-domain query).
+            rng: random generator used for anchor sampling and centre
+                selection; the caller owns the seed for reproducibility.
+            budget: number of subpopulations ``m``; defaults to the
+                config rule ``min(4 n, 4000)``.
+
+        Returns:
+            A list of ``m`` subpopulations.  When no queries have been
+            observed yet, a single subpopulation covering the whole
+            domain is returned so the model is always well defined.
+        """
+        observed = len(regions)
+        if budget is None:
+            budget = self._config.subpopulation_budget(observed)
+        if budget < 1:
+            raise TrainingError("subpopulation budget must be >= 1")
+
+        if observed == 0:
+            return [
+                Subpopulation(box=self._domain, center=self._domain.center)
+            ]
+
+        anchors = generate_anchor_points(
+            regions, self._config.points_per_predicate, rng
+        )
+        centers = self._choose_centers(anchors, budget, rng)
+        widths = self._center_widths(centers)
+        subpopulations = []
+        for center, width in zip(centers, widths):
+            box = Hyperrectangle.centered(center, width, clip_to=self._domain)
+            subpopulations.append(Subpopulation(box=box, center=center.copy()))
+        return subpopulations
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _choose_centers(
+        self, anchors: np.ndarray, budget: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Simple random sample of ``budget`` centres from the anchor cloud."""
+        count = anchors.shape[0]
+        if count == 0:
+            raise TrainingError("anchor point cloud is empty")
+        if budget >= count:
+            return anchors.copy()
+        picked = rng.choice(count, size=budget, replace=False)
+        return anchors[picked]
+
+    def _center_widths(self, centers: np.ndarray) -> np.ndarray:
+        """Per-centre box widths: mean distance to the k nearest centres.
+
+        A single centre (or identical centres) falls back to a fraction
+        of the domain width so the box never collapses to zero volume.
+        """
+        count, dimension = centers.shape
+        fallback = self._domain.widths / 4.0
+        if count == 1:
+            return np.tile(fallback, (1, 1))
+
+        k = min(self._config.neighbor_count, count - 1)
+        # Pairwise Euclidean distances between centres; for the model
+        # sizes the paper uses (<= 4000) the dense matrix is cheap.
+        deltas = centers[:, None, :] - centers[None, :, :]
+        distances = np.sqrt((deltas**2).sum(axis=2))
+        np.fill_diagonal(distances, np.inf)
+        nearest = np.partition(distances, k - 1, axis=1)[:, :k]
+        mean_distance = nearest.mean(axis=1)
+
+        widths = np.empty_like(centers)
+        for index in range(count):
+            width = mean_distance[index]
+            if not np.isfinite(width) or width <= 0.0:
+                widths[index] = fallback
+            else:
+                widths[index] = np.minimum(
+                    np.full(dimension, width), self._domain.widths
+                )
+        return widths

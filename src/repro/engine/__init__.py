@@ -1,0 +1,44 @@
+"""A miniature in-memory DBMS substrate for exercising selectivity estimators.
+
+The engine provides everything the paper's setting assumes exists around
+the estimator: typed tables (:mod:`repro.engine.table`), a predicate
+executor that measures true selectivities (:mod:`repro.engine.executor`),
+a catalog that records statistics and observed-query feedback
+(:mod:`repro.engine.catalog`), the feedback loop wiring estimators to the
+executor (:mod:`repro.engine.feedback`), plus a cost-based access-path
+optimizer and an independence-based join-size estimator showing how the
+estimates get used (:mod:`repro.engine.optimizer`,
+:mod:`repro.engine.join`).
+"""
+
+from repro.engine.catalog import Catalog, ColumnStatistics, TableStatistics
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.feedback import FeedbackLoop
+from repro.engine.index import SortedIndex
+from repro.engine.join import JoinEstimate, JoinSizeEstimator, exact_join_size
+from repro.engine.optimizer import AccessPathOptimizer, CostModel, PlanChoice
+from repro.engine.query import Query, QueryBuilder
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.table import Table
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "Query",
+    "QueryBuilder",
+    "Executor",
+    "ExecutionResult",
+    "Catalog",
+    "ColumnStatistics",
+    "TableStatistics",
+    "FeedbackLoop",
+    "SortedIndex",
+    "AccessPathOptimizer",
+    "CostModel",
+    "PlanChoice",
+    "JoinSizeEstimator",
+    "JoinEstimate",
+    "exact_join_size",
+]

@@ -1,0 +1,131 @@
+"""System catalog: per-table statistics and recorded query feedback.
+
+Real systems keep optimizer statistics (histograms, samples, observed
+selectivities) in a catalog/metastore; Section 6 of the paper points out
+that query-driven estimators can reuse exactly that infrastructure.  The
+:class:`Catalog` here stores, per table:
+
+* basic statistics refreshed by an ``ANALYZE``-style scan (row count,
+  per-column min/max/mean), and
+* the stream of observed ``(predicate, selectivity)`` feedback, which is
+  what QuickSel and the other query-driven estimators train on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predicate import Predicate
+from repro.engine.table import Table
+from repro.exceptions import SchemaError
+
+__all__ = ["ColumnStatistics", "TableStatistics", "Catalog"]
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Summary statistics of one column collected by an ANALYZE scan."""
+
+    name: str
+    minimum: float
+    maximum: float
+    mean: float
+    distinct_estimate: int
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Row count plus per-column statistics from the most recent scan."""
+
+    table_name: str
+    row_count: int
+    columns: tuple[ColumnStatistics, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class FeedbackRecord:
+    """One observed query: predicate, measured selectivity, sequence number."""
+
+    sequence: int
+    predicate: Predicate
+    selectivity: float
+
+
+class Catalog:
+    """Holds statistics and query feedback for every registered table."""
+
+    def __init__(self) -> None:
+        self._statistics: dict[str, TableStatistics] = {}
+        self._feedback: dict[str, list[FeedbackRecord]] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # ANALYZE-style statistics
+    # ------------------------------------------------------------------
+    def analyze(self, table: Table) -> TableStatistics:
+        """Scan a table and store fresh statistics (resets its scan counter)."""
+        rows = table.rows()
+        columns = []
+        for index, column in enumerate(table.schema.columns):
+            if rows.shape[0] == 0:
+                columns.append(
+                    ColumnStatistics(column.name, 0.0, 0.0, 0.0, 0)
+                )
+                continue
+            values = rows[:, index]
+            columns.append(
+                ColumnStatistics(
+                    name=column.name,
+                    minimum=float(values.min()),
+                    maximum=float(values.max()),
+                    mean=float(values.mean()),
+                    distinct_estimate=int(np.unique(values).size),
+                )
+            )
+        statistics = TableStatistics(
+            table_name=table.name,
+            row_count=table.row_count,
+            columns=tuple(columns),
+        )
+        self._statistics[table.name] = statistics
+        table.mark_scanned()
+        return statistics
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        """Retrieve the most recent statistics for a table."""
+        try:
+            return self._statistics[table_name]
+        except KeyError as error:
+            raise SchemaError(
+                f"no statistics recorded for table {table_name!r}; run analyze()"
+            ) from error
+
+    def has_statistics(self, table_name: str) -> bool:
+        """True if :meth:`analyze` has been run for the table."""
+        return table_name in self._statistics
+
+    # ------------------------------------------------------------------
+    # Query feedback (what query-driven estimators consume)
+    # ------------------------------------------------------------------
+    def record_feedback(
+        self, table_name: str, predicate: Predicate, selectivity: float
+    ) -> FeedbackRecord:
+        """Append one observed (predicate, selectivity) pair for a table."""
+        if not (0.0 <= selectivity <= 1.0):
+            raise SchemaError("selectivity must be in [0, 1]")
+        self._sequence += 1
+        record = FeedbackRecord(
+            sequence=self._sequence, predicate=predicate, selectivity=selectivity
+        )
+        self._feedback.setdefault(table_name, []).append(record)
+        return record
+
+    def feedback(self, table_name: str) -> list[FeedbackRecord]:
+        """All feedback recorded for a table, in observation order."""
+        return list(self._feedback.get(table_name, []))
+
+    def feedback_count(self, table_name: str) -> int:
+        """Number of observed queries recorded for a table."""
+        return len(self._feedback.get(table_name, []))

@@ -1,0 +1,108 @@
+"""Query execution: computes exact selectivities and emits feedback.
+
+This mirrors the integration story of Section 6 of the paper: real
+engines (the example given is Spark's ``FilterExec``) already compute the
+*actual* selectivity of every executed filter; query-driven estimators
+only need that number to be recorded.  The :class:`Executor` evaluates a
+predicate against a table, returns the exact count/selectivity, and
+notifies any registered feedback listeners (see
+:mod:`repro.engine.feedback`) so estimators can learn from the query.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predicate import Predicate
+from repro.engine.query import Query
+from repro.engine.table import Table
+from repro.exceptions import SchemaError
+
+__all__ = ["ExecutionResult", "Executor"]
+
+FeedbackListener = Callable[[str, Predicate, float], None]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one filter query.
+
+    Attributes:
+        table_name: the table the query ran against.
+        row_count: number of rows scanned.
+        matching_rows: number of rows satisfying the predicate.
+        selectivity: ``matching_rows / row_count`` (0.0 on an empty table).
+        elapsed_seconds: wall-clock execution time of the scan.
+    """
+
+    table_name: str
+    row_count: int
+    matching_rows: int
+    selectivity: float
+    elapsed_seconds: float
+
+
+class Executor:
+    """Evaluates predicates against registered tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._listeners: list[FeedbackListener] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table) -> None:
+        """Make a table queryable through this executor."""
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a registered table."""
+        try:
+            return self._tables[name]
+        except KeyError as error:
+            raise SchemaError(f"unknown table {name!r}") from error
+
+    def add_feedback_listener(self, listener: FeedbackListener) -> None:
+        """Register a callback invoked with (table, predicate, selectivity)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> ExecutionResult:
+        """Run a filter query: exact count via a full scan plus feedback."""
+        table = self.table(query.table_name)
+        rows = table.rows()
+        start = time.perf_counter()
+        if rows.shape[0] == 0:
+            matching = 0
+            selectivity = 0.0
+        else:
+            mask = query.predicate.matches(rows)
+            matching = int(np.count_nonzero(mask))
+            selectivity = matching / rows.shape[0]
+        elapsed = time.perf_counter() - start
+
+        for listener in self._listeners:
+            listener(query.table_name, query.predicate, selectivity)
+
+        return ExecutionResult(
+            table_name=query.table_name,
+            row_count=int(rows.shape[0]),
+            matching_rows=matching,
+            selectivity=selectivity,
+            elapsed_seconds=elapsed,
+        )
+
+    def true_selectivity(self, query: Query) -> float:
+        """Exact selectivity without emitting feedback (used for test sets)."""
+        table = self.table(query.table_name)
+        rows = table.rows()
+        if rows.shape[0] == 0:
+            return 0.0
+        return float(query.predicate.matches(rows).mean())

@@ -1,0 +1,55 @@
+"""Wiring between query execution and query-driven estimators.
+
+:class:`FeedbackLoop` implements the integration sketched in Section 6 of
+the paper: the executor computes the actual selectivity of every filter it
+runs; the loop stores that observation in the catalog and forwards it to
+any query-driven estimators registered for the table, so their models keep
+improving as the workload runs — the "selectivity learning" loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.predicate import Predicate
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.estimators.base import QueryDrivenEstimator
+from repro.core.quicksel import QuickSel
+
+__all__ = ["FeedbackLoop"]
+
+LearningEstimator = QueryDrivenEstimator | QuickSel
+
+
+class FeedbackLoop:
+    """Routes observed selectivities from the executor to estimators."""
+
+    def __init__(self, executor: Executor, catalog: Catalog) -> None:
+        self._executor = executor
+        self._catalog = catalog
+        self._estimators: dict[str, list[LearningEstimator]] = {}
+        executor.add_feedback_listener(self._on_feedback)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_estimator(
+        self, table_name: str, estimator: LearningEstimator
+    ) -> None:
+        """Subscribe an estimator to feedback from queries on ``table_name``."""
+        self._estimators.setdefault(table_name, []).append(estimator)
+
+    def estimators_for(self, table_name: str) -> Sequence[LearningEstimator]:
+        """Estimators currently subscribed to a table."""
+        return tuple(self._estimators.get(table_name, []))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _on_feedback(
+        self, table_name: str, predicate: Predicate, selectivity: float
+    ) -> None:
+        self._catalog.record_feedback(table_name, predicate, selectivity)
+        for estimator in self._estimators.get(table_name, []):
+            estimator.observe(predicate, selectivity)

@@ -1,0 +1,170 @@
+"""Cost-based access-path selection driven by selectivity estimates.
+
+The introduction of the paper motivates selectivity estimation with plan
+choice: the optimizer picks the cheapest access path given how many rows a
+predicate is expected to match.  This module implements that decision for
+the engine substrate so the examples (and the future-work experiment on
+plan quality) can show the end-to-end effect of a better estimator:
+
+* **sequential scan** — cost proportional to the row count,
+* **index range scan** — cost proportional to the estimated matching rows
+  times a per-row random-access penalty (only available when the predicate
+  constrains an indexed column with a simple range/equality).
+
+The optimizer asks a :class:`~repro.estimators.base.SelectivityEstimator`
+for the predicate's selectivity, prices both paths, and picks the cheaper;
+``plan_with_true_selectivity`` provides the oracle plan so experiments can
+count how often an estimator leads the optimizer astray.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predicate import BoxPredicate, Predicate
+from repro.engine.index import SortedIndex
+from repro.engine.table import Table
+from repro.estimators.base import SelectivityEstimator
+from repro.exceptions import SchemaError
+
+__all__ = ["CostModel", "PlanChoice", "AccessPathOptimizer"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the access-path cost model.
+
+    Attributes:
+        sequential_page_cost: cost of touching one row during a scan.
+        random_access_cost: cost of fetching one row through an index
+            (random I/O penalty; > sequential_page_cost).
+        index_lookup_cost: fixed cost of descending the index.
+    """
+
+    sequential_page_cost: float = 1.0
+    random_access_cost: float = 4.0
+    index_lookup_cost: float = 10.0
+
+    def scan_cost(self, row_count: int) -> float:
+        """Cost of a full sequential scan."""
+        return self.sequential_page_cost * row_count
+
+    def index_cost(self, row_count: int, selectivity: float) -> float:
+        """Cost of an index range scan returning ``selectivity * row_count`` rows."""
+        matching = selectivity * row_count
+        return self.index_lookup_cost + self.random_access_cost * matching
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The optimizer's decision for one query.
+
+    Attributes:
+        access_path: "seq_scan" or "index_scan".
+        index_column: the indexed column used (None for a scan).
+        estimated_selectivity: the estimate the decision was based on.
+        estimated_cost: cost of the chosen path under the cost model.
+        alternative_cost: cost of the rejected path.
+    """
+
+    access_path: str
+    index_column: str | None
+    estimated_selectivity: float
+    estimated_cost: float
+    alternative_cost: float
+
+    @property
+    def used_index(self) -> bool:
+        """True if the optimizer chose the index path."""
+        return self.access_path == "index_scan"
+
+
+class AccessPathOptimizer:
+    """Chooses between a sequential scan and an index scan."""
+
+    def __init__(
+        self,
+        table: Table,
+        estimator: SelectivityEstimator,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self._table = table
+        self._estimator = estimator
+        self._cost_model = cost_model or CostModel()
+        self._indexes: dict[str, SortedIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def add_index(self, column: str) -> SortedIndex:
+        """Create (or return the existing) sorted index on a column."""
+        if column not in self._table.schema.column_names:
+            raise SchemaError(f"cannot index unknown column {column!r}")
+        if column not in self._indexes:
+            self._indexes[column] = SortedIndex(self._table, column)
+        return self._indexes[column]
+
+    @property
+    def indexed_columns(self) -> list[str]:
+        """Columns that currently have an index."""
+        return sorted(self._indexes)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, predicate: Predicate) -> PlanChoice:
+        """Pick the cheaper access path using the estimator's selectivity."""
+        selectivity = self._estimator.estimate(predicate)
+        return self._plan_with(predicate, selectivity)
+
+    def plan_with_true_selectivity(
+        self, predicate: Predicate, true_selectivity: float
+    ) -> PlanChoice:
+        """Oracle plan: same cost model but fed the exact selectivity."""
+        return self._plan_with(predicate, true_selectivity)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _plan_with(self, predicate: Predicate, selectivity: float) -> PlanChoice:
+        row_count = self._table.row_count
+        scan_cost = self._cost_model.scan_cost(row_count)
+        usable_column = self._usable_index_column(predicate)
+        if usable_column is None:
+            return PlanChoice(
+                access_path="seq_scan",
+                index_column=None,
+                estimated_selectivity=selectivity,
+                estimated_cost=scan_cost,
+                alternative_cost=float("inf"),
+            )
+        index_cost = self._cost_model.index_cost(row_count, selectivity)
+        if index_cost < scan_cost:
+            return PlanChoice(
+                access_path="index_scan",
+                index_column=usable_column,
+                estimated_selectivity=selectivity,
+                estimated_cost=index_cost,
+                alternative_cost=scan_cost,
+            )
+        return PlanChoice(
+            access_path="seq_scan",
+            index_column=usable_column,
+            estimated_selectivity=selectivity,
+            estimated_cost=scan_cost,
+            alternative_cost=index_cost,
+        )
+
+    def _usable_index_column(self, predicate: Predicate) -> str | None:
+        """An indexed column constrained by the predicate, if any.
+
+        Only simple conjunctive (box) predicates can use an index range
+        scan in this engine; more complex predicates fall back to a scan.
+        """
+        if not isinstance(predicate, BoxPredicate) or not self._indexes:
+            return None
+        constrained_dims = {constraint.dim for constraint in predicate.constraints}
+        for column in self.indexed_columns:
+            if self._table.schema.column_index(column) in constrained_dims:
+                return column
+        return None

@@ -1,0 +1,117 @@
+"""Name-based query construction bound to a table schema.
+
+The core predicate algebra works on dimension indices; this module lets
+callers (examples, experiments, the optimizer) express predicates using
+column *names* and raw values, handling the paper's Section 2.2 encoding
+of discrete and categorical columns automatically:
+
+* ``builder.range("price", 10, 20)`` — two-sided range,
+* ``builder.at_least("year", 2005)`` / ``builder.at_most(...)`` — one-sided,
+* ``builder.equals("state", "NY")`` — equality; categorical labels are
+  mapped to their ordinal code and expanded to ``[code, code + 1)``,
+* predicates compose with ``&``, ``|`` and ``~``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predicate import (
+    BoxPredicate,
+    EqualityConstraint,
+    Predicate,
+    RangeConstraint,
+    TruePredicate,
+)
+from repro.engine.schema import ColumnType, Schema
+from repro.exceptions import PredicateError
+
+__all__ = ["Query", "QueryBuilder"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A SELECT-COUNT style query: a predicate over one table."""
+
+    table_name: str
+    predicate: Predicate
+    description: str = ""
+
+    def __repr__(self) -> str:
+        label = self.description or repr(self.predicate)
+        return f"Query(table={self.table_name!r}, predicate={label})"
+
+
+class QueryBuilder:
+    """Builds core predicates from column names and raw values."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    @property
+    def schema(self) -> Schema:
+        """The schema names are resolved against."""
+        return self._schema
+
+    # ------------------------------------------------------------------
+    # Leaf predicates
+    # ------------------------------------------------------------------
+    def select_all(self) -> Predicate:
+        """The empty predicate ``P_0`` (selects every row)."""
+        return TruePredicate()
+
+    def range(
+        self, column: str, low: float | None, high: float | None
+    ) -> Predicate:
+        """``low <= column <= high`` with optional one-sided bounds."""
+        col = self._schema.column(column)
+        dim = self._schema.column_index(column)
+        if col.column_type is ColumnType.CATEGORICAL:
+            raise PredicateError(
+                f"range constraints are not supported on categorical column "
+                f"{column!r}; use equals() or is_in()"
+            )
+        encoded_high = high
+        if high is not None and col.column_type is ColumnType.INTEGER:
+            # Integer ranges are inclusive; the encoded domain treats the
+            # integer k as the interval [k, k + 1).
+            encoded_high = float(high) + 1.0
+        return BoxPredicate([RangeConstraint(dim, low, encoded_high)])
+
+    def at_least(self, column: str, low: float) -> Predicate:
+        """``column >= low``."""
+        return self.range(column, low, None)
+
+    def at_most(self, column: str, high: float) -> Predicate:
+        """``column <= high``."""
+        return self.range(column, None, high)
+
+    def equals(self, column: str, value: object) -> Predicate:
+        """``column = value`` (categorical labels are encoded automatically)."""
+        col = self._schema.column(column)
+        dim = self._schema.column_index(column)
+        encoded = col.encode_value(value)
+        return BoxPredicate(
+            [EqualityConstraint(dim, encoded, width=col.equality_width)]
+        )
+
+    def is_in(self, column: str, values: list[object]) -> Predicate:
+        """``column IN (values...)`` as a disjunction of equalities."""
+        if not values:
+            raise PredicateError("is_in() needs at least one value")
+        predicates = [self.equals(column, value) for value in values]
+        result: Predicate = predicates[0]
+        for predicate in predicates[1:]:
+            result = result | predicate
+        return result
+
+    # ------------------------------------------------------------------
+    # Whole queries
+    # ------------------------------------------------------------------
+    def query(
+        self, table_name: str, predicate: Predicate, description: str = ""
+    ) -> Query:
+        """Wrap a predicate into a :class:`Query` against ``table_name``."""
+        return Query(
+            table_name=table_name, predicate=predicate, description=description
+        )

@@ -1,0 +1,113 @@
+"""In-memory columnar table.
+
+The engine stores rows as a dense float matrix (after schema encoding)
+and tracks how many rows have been modified since the last statistics
+scan — the counter that drives the automatic-update rule of the
+scan-based estimators (AutoHist / AutoSample) and of real systems like
+SQL Server's AUTO_UPDATE_STATISTICS.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.engine.schema import Schema
+from repro.exceptions import SchemaError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named, schema-typed, in-memory table."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self._name = name
+        self._schema = schema
+        self._rows = np.empty((0, schema.dimension))
+        self._modified_since_scan = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The table name."""
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        """The table schema."""
+        return self._schema
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows currently stored."""
+        return int(self._rows.shape[0])
+
+    @property
+    def modified_since_scan(self) -> int:
+        """Rows inserted/deleted since :meth:`mark_scanned` was last called."""
+        return self._modified_since_scan
+
+    def domain(self) -> Hyperrectangle:
+        """The encoded domain ``B_0`` of the table's columns."""
+        return self._schema.domain()
+
+    def rows(self) -> np.ndarray:
+        """The encoded row matrix (read-only view)."""
+        view = self._rows.view()
+        view.setflags(write=False)
+        return view
+
+    def column_values(self, name: str) -> np.ndarray:
+        """All encoded values of one column."""
+        return self._rows[:, self._schema.column_index(name)].copy()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, rows: Sequence[Mapping[str, object]] | np.ndarray) -> int:
+        """Append rows (dicts or a numeric array); returns how many were added."""
+        encoded = self._schema.encode_rows(rows)
+        if encoded.shape[0] == 0:
+            return 0
+        self._rows = np.vstack([self._rows, encoded])
+        self._modified_since_scan += encoded.shape[0]
+        return int(encoded.shape[0])
+
+    def delete_where(self, mask: np.ndarray) -> int:
+        """Delete rows where ``mask`` is True; returns how many were removed."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.row_count,):
+            raise SchemaError(
+                f"mask must have shape ({self.row_count},); got {mask.shape}"
+            )
+        removed = int(mask.sum())
+        if removed:
+            self._rows = self._rows[~mask]
+            self._modified_since_scan += removed
+        return removed
+
+    def truncate(self) -> None:
+        """Remove all rows."""
+        removed = self.row_count
+        self._rows = np.empty((0, self._schema.dimension))
+        self._modified_since_scan += removed
+
+    def mark_scanned(self) -> None:
+        """Reset the modification counter (called after an ANALYZE-style scan)."""
+        self._modified_since_scan = 0
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self._name!r}, rows={self.row_count}, "
+            f"columns={self._schema.column_names})"
+        )

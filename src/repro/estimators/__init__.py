@@ -1,0 +1,55 @@
+"""Baseline selectivity estimators from the paper's evaluation (Section 5.1).
+
+Query-driven:  :class:`~repro.estimators.stholes.STHoles`,
+:class:`~repro.estimators.isomer.Isomer`,
+:class:`~repro.estimators.isomer_qp.IsomerQP`,
+:class:`~repro.estimators.query_model.QueryModel`
+(plus :class:`repro.core.quicksel.QuickSel` itself, which implements the
+same interface).
+
+Scan-based: :class:`~repro.estimators.auto_hist.AutoHist`,
+:class:`~repro.estimators.auto_sample.AutoSample`, and the
+:class:`~repro.estimators.kde.KDEEstimator` extension.
+"""
+
+from repro.estimators.auto_hist import AutoHist
+from repro.estimators.auto_sample import AutoSample
+from repro.estimators.base import (
+    QueryDrivenEstimator,
+    ScanBasedEstimator,
+    SelectivityEstimator,
+    as_region,
+)
+from repro.estimators.buckets import Bucket, BucketSet, drill
+from repro.estimators.isomer import Isomer
+from repro.estimators.isomer_qp import IsomerQP
+from repro.estimators.kde import KDEEstimator
+from repro.estimators.query_model import QueryModel
+from repro.estimators.registry import (
+    QUERY_DRIVEN_ESTIMATORS,
+    SCAN_BASED_ESTIMATORS,
+    make_query_driven,
+    make_scan_based,
+)
+from repro.estimators.stholes import STHoles
+
+__all__ = [
+    "SelectivityEstimator",
+    "QueryDrivenEstimator",
+    "ScanBasedEstimator",
+    "as_region",
+    "Bucket",
+    "BucketSet",
+    "drill",
+    "STHoles",
+    "Isomer",
+    "IsomerQP",
+    "QueryModel",
+    "AutoHist",
+    "AutoSample",
+    "KDEEstimator",
+    "QUERY_DRIVEN_ESTIMATORS",
+    "SCAN_BASED_ESTIMATORS",
+    "make_query_driven",
+    "make_scan_based",
+]

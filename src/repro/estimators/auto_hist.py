@@ -1,0 +1,117 @@
+"""AutoHist: periodically-rebuilt equi-width multidimensional histogram.
+
+The paper's first scan-based baseline (Section 5.1): an equi-width
+histogram over all ``d`` columns that is rebuilt by scanning the data
+whenever more than 20 % of the rows have been modified since the last
+scan (SQL Server's AUTO_UPDATE_STATISTICS rule).  Selectivity estimation
+uses the standard uniform-within-cell assumption, so a predicate box is
+estimated as the histogram tensor contracted with the per-dimension
+fractional overlap of the box with each bin.
+
+The bucket budget is the parameter the space-budget experiments (Figure 5
+and Figure 7d) sweep; the per-dimension bin count is ``⌊budget^(1/d)⌋``
+(at least 1), matching an equi-width layout with roughly ``budget`` cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.estimators.base import DataSource, PredicateLike, ScanBasedEstimator
+from repro.exceptions import EstimatorError
+
+__all__ = ["AutoHist"]
+
+
+class AutoHist(ScanBasedEstimator):
+    """Equi-width multidimensional histogram with automatic updates."""
+
+    name = "AutoHist"
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        data_source: DataSource,
+        bucket_budget: int = 100,
+        update_threshold: float = 0.2,
+    ) -> None:
+        super().__init__(domain, data_source, update_threshold=update_threshold)
+        if bucket_budget < 1:
+            raise EstimatorError("bucket_budget must be >= 1")
+        self._bucket_budget = bucket_budget
+        dimension = domain.dimension
+        self._bins_per_dim = max(int(np.floor(bucket_budget ** (1.0 / dimension))), 1)
+        self._edges = [
+            np.linspace(domain.lower[d], domain.upper[d], self._bins_per_dim + 1)
+            for d in range(dimension)
+        ]
+        self._counts: np.ndarray | None = None
+        self._total_rows = 0
+
+    # ------------------------------------------------------------------
+    # SelectivityEstimator interface
+    # ------------------------------------------------------------------
+    @property
+    def parameter_count(self) -> int:
+        """Total number of histogram cells."""
+        return int(self._bins_per_dim**self._domain.dimension)
+
+    @property
+    def bins_per_dimension(self) -> int:
+        """Number of equi-width bins along each dimension."""
+        return self._bins_per_dim
+
+    def estimate(self, predicate: PredicateLike) -> float:
+        if self._counts is None:
+            raise EstimatorError("AutoHist.refresh() must be called before estimating")
+        if self._total_rows == 0:
+            return 0.0
+        region = self._region(predicate)
+        if region.is_empty:
+            return 0.0
+        total = 0.0
+        for box in region.boxes:
+            total += self._estimate_box(box)
+        return float(min(max(total, 0.0), 1.0))
+
+    # ------------------------------------------------------------------
+    # ScanBasedEstimator interface
+    # ------------------------------------------------------------------
+    def _build(self, data: np.ndarray) -> None:
+        counts, _ = np.histogramdd(data, bins=self._edges)
+        self._counts = counts
+        self._total_rows = data.shape[0]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _estimate_box(self, box: Hyperrectangle) -> float:
+        assert self._counts is not None
+        result = self._counts
+        # Contract the count tensor one dimension at a time with the
+        # fractional overlap of the query interval against each bin.
+        for dim in range(self._domain.dimension):
+            fractions = self._bin_overlap_fractions(dim, box)
+            result = np.tensordot(fractions, result, axes=([0], [0]))
+        return float(result) / self._total_rows
+
+    def _bin_overlap_fractions(self, dim: int, box: Hyperrectangle) -> np.ndarray:
+        edges = self._edges[dim]
+        low, high = box.bounds[dim]
+        lower_edges = edges[:-1]
+        upper_edges = edges[1:]
+        widths = upper_edges - lower_edges
+        overlap = np.clip(
+            np.minimum(upper_edges, high) - np.maximum(lower_edges, low), 0.0, None
+        )
+        fractions = np.divide(
+            overlap, widths, out=np.zeros_like(overlap), where=widths > 0
+        )
+        return fractions
+
+    def __repr__(self) -> str:
+        return (
+            f"AutoHist(bins_per_dim={self._bins_per_dim}, "
+            f"cells={self.parameter_count}, refreshes={self.refresh_count})"
+        )

@@ -1,0 +1,86 @@
+"""AutoSample: periodically-refreshed uniform row sample.
+
+The paper's second scan-based baseline (Section 5.1): a simple random
+sample of rows is drawn from the table, and the selectivity estimate for
+a predicate is the fraction of sampled rows that satisfy it.  Like
+AutoHist the sample is refreshed automatically once more than a threshold
+fraction of rows (10 % by default, per the paper) has been modified since
+the last refresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.estimators.base import DataSource, PredicateLike, ScanBasedEstimator
+from repro.exceptions import EstimatorError
+
+__all__ = ["AutoSample"]
+
+
+class AutoSample(ScanBasedEstimator):
+    """Uniform random-sample estimator with automatic refresh."""
+
+    name = "AutoSample"
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        data_source: DataSource,
+        sample_size: int = 100,
+        update_threshold: float = 0.1,
+        random_seed: int | None = 0,
+    ) -> None:
+        super().__init__(domain, data_source, update_threshold=update_threshold)
+        if sample_size < 1:
+            raise EstimatorError("sample_size must be >= 1")
+        self._sample_size = sample_size
+        self._rng = np.random.default_rng(random_seed)
+        self._sample: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # SelectivityEstimator interface
+    # ------------------------------------------------------------------
+    @property
+    def parameter_count(self) -> int:
+        """Each sampled row counts as one stored parameter vector."""
+        return 0 if self._sample is None else int(self._sample.shape[0])
+
+    @property
+    def sample(self) -> np.ndarray | None:
+        """The current sample (None before the first refresh)."""
+        return self._sample
+
+    def estimate(self, predicate: PredicateLike) -> float:
+        if self._sample is None:
+            raise EstimatorError(
+                "AutoSample.refresh() must be called before estimating"
+            )
+        if self._sample.shape[0] == 0:
+            return 0.0
+        region = self._region(predicate)
+        if region.is_empty:
+            return 0.0
+        inside = region.contains_points(self._sample)
+        return float(inside.mean())
+
+    # ------------------------------------------------------------------
+    # ScanBasedEstimator interface
+    # ------------------------------------------------------------------
+    def _build(self, data: np.ndarray) -> None:
+        row_count = data.shape[0]
+        if row_count == 0:
+            self._sample = data.copy()
+            return
+        if row_count <= self._sample_size:
+            self._sample = data.copy()
+            return
+        picked = self._rng.choice(row_count, size=self._sample_size, replace=False)
+        self._sample = data[picked].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"AutoSample(sample={self.parameter_count}, "
+            f"refreshes={self.refresh_count})"
+        )

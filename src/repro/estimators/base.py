@@ -1,0 +1,175 @@
+"""Common interfaces for all selectivity estimators in the evaluation.
+
+The paper compares QuickSel against two families of estimators:
+
+* **query-driven** estimators, which never look at the data and learn only
+  from ``(predicate, true selectivity)`` feedback
+  (:class:`QueryDrivenEstimator`), and
+* **scan-based** estimators, which periodically rebuild statistics by
+  scanning the data and refresh them when enough of the table has changed
+  (:class:`ScanBasedEstimator`).
+
+Both expose the same :meth:`SelectivityEstimator.estimate` surface plus a
+``parameter_count`` so the harness can reproduce the model-size analyses
+of Figure 4 and the space-budget comparison of Figure 5.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import Predicate
+from repro.core.region import Region
+from repro.exceptions import EstimatorError
+
+__all__ = [
+    "PredicateLike",
+    "DataSource",
+    "SelectivityEstimator",
+    "QueryDrivenEstimator",
+    "ScanBasedEstimator",
+    "as_region",
+]
+
+PredicateLike = Predicate | Hyperrectangle | Region
+DataSource = Callable[[], np.ndarray]
+
+
+def as_region(predicate: PredicateLike, domain: Hyperrectangle) -> Region:
+    """Normalise any supported predicate representation to a region."""
+    if isinstance(predicate, Region):
+        if predicate.dimension != domain.dimension:
+            raise EstimatorError("predicate dimension does not match the domain")
+        return predicate
+    if isinstance(predicate, Hyperrectangle):
+        if predicate.dimension != domain.dimension:
+            raise EstimatorError("predicate dimension does not match the domain")
+        clipped = predicate.intersection(domain)
+        if clipped is None:
+            return Region.empty(domain.dimension)
+        return Region.from_box(clipped)
+    if isinstance(predicate, Predicate):
+        return predicate.to_region(domain)
+    raise EstimatorError(f"unsupported predicate type {type(predicate).__name__}")
+
+
+class SelectivityEstimator(abc.ABC):
+    """Anything that can estimate the selectivity of a predicate."""
+
+    #: Human-readable estimator name used in experiment reports.
+    name: str = "estimator"
+
+    def __init__(self, domain: Hyperrectangle) -> None:
+        self._domain = domain
+
+    @property
+    def domain(self) -> Hyperrectangle:
+        """The data domain ``B_0`` this estimator works over."""
+        return self._domain
+
+    @property
+    @abc.abstractmethod
+    def parameter_count(self) -> int:
+        """Number of model parameters currently held by the estimator."""
+
+    @abc.abstractmethod
+    def estimate(self, predicate: PredicateLike) -> float:
+        """Return the estimated selectivity of ``predicate`` in ``[0, 1]``."""
+
+    def _region(self, predicate: PredicateLike) -> Region:
+        return as_region(predicate, self._domain)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(parameters={self.parameter_count})"
+
+
+class QueryDrivenEstimator(SelectivityEstimator):
+    """Estimators that learn only from observed query feedback."""
+
+    @abc.abstractmethod
+    def observe(self, predicate: PredicateLike, selectivity: float) -> None:
+        """Record one piece of ``(predicate, true selectivity)`` feedback."""
+
+    def observe_many(
+        self, feedback: Sequence[tuple[PredicateLike, float]]
+    ) -> None:
+        """Record a batch of feedback pairs in order."""
+        for predicate, selectivity in feedback:
+            self.observe(predicate, selectivity)
+
+    @property
+    def observed_count(self) -> int:
+        """Number of queries observed so far (subclasses may override)."""
+        return getattr(self, "_observed_count", 0)
+
+
+class ScanBasedEstimator(SelectivityEstimator):
+    """Estimators that build statistics by scanning the data.
+
+    Subclasses receive a ``data_source`` callable that returns the current
+    table contents as an ``(N, d)`` float array.  They rebuild their
+    statistics on :meth:`refresh`, and :meth:`notify_modified` implements
+    the automatic-update rule (SQL Server's AUTO_UPDATE_STATISTICS
+    behaviour the paper mimics): once more than ``update_threshold`` of
+    the rows present at the last refresh have been modified, the
+    statistics are rebuilt.
+    """
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        data_source: DataSource,
+        update_threshold: float = 0.2,
+    ) -> None:
+        super().__init__(domain)
+        if not (0.0 < update_threshold <= 1.0):
+            raise EstimatorError("update_threshold must be in (0, 1]")
+        self._data_source = data_source
+        self._update_threshold = update_threshold
+        self._rows_at_refresh = 0
+        self._modified_since_refresh = 0
+        self._refresh_count = 0
+
+    @property
+    def refresh_count(self) -> int:
+        """How many times the statistics have been rebuilt."""
+        return self._refresh_count
+
+    @property
+    def update_threshold(self) -> float:
+        """Fraction of modified rows that triggers an automatic rebuild."""
+        return self._update_threshold
+
+    def refresh(self) -> None:
+        """Rebuild statistics from the current data (a full scan)."""
+        data = np.asarray(self._data_source(), dtype=float)
+        if data.ndim != 2 or data.shape[1] != self._domain.dimension:
+            raise EstimatorError(
+                "data source must return an (N, d) array matching the domain"
+            )
+        self._build(data)
+        self._rows_at_refresh = data.shape[0]
+        self._modified_since_refresh = 0
+        self._refresh_count += 1
+
+    def notify_modified(self, row_count: int) -> bool:
+        """Report that ``row_count`` rows were inserted/updated/deleted.
+
+        Returns True if the notification triggered an automatic refresh.
+        """
+        if row_count < 0:
+            raise EstimatorError("row_count must be non-negative")
+        self._modified_since_refresh += row_count
+        baseline = max(self._rows_at_refresh, 1)
+        if self._modified_since_refresh > self._update_threshold * baseline:
+            self.refresh()
+            return True
+        return False
+
+    @abc.abstractmethod
+    def _build(self, data: np.ndarray) -> None:
+        """Rebuild internal statistics from a full copy of the data."""

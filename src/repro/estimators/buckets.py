@@ -1,0 +1,187 @@
+"""Shared bucket machinery for query-driven histograms (STHoles, ISOMER).
+
+Query-driven histograms carve the domain into *disjoint* buckets by
+"drilling" each observed predicate into the existing buckets (Figure 1 of
+the paper): any bucket that partially overlaps the new predicate's box is
+split into the overlapping part and a slab decomposition of the rest.
+After drilling, every bucket is either entirely inside or entirely outside
+each observed predicate — the invariant iterative scaling relies on
+(Appendix B) and the reason the bucket count can grow exponentially with
+the number of observed queries (Limitation 1 in Section 2.3).
+
+This module provides the bucket container and the drilling primitive; the
+individual estimators decide how frequencies are (re)assigned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle, cross_intersection_volumes
+from repro.core.region import Region
+from repro.exceptions import EstimatorError
+
+__all__ = ["Bucket", "BucketSet", "drill"]
+
+
+@dataclass
+class Bucket:
+    """A histogram bucket: an axis-aligned box and its frequency mass."""
+
+    box: Hyperrectangle
+    frequency: float = 0.0
+
+    @property
+    def volume(self) -> float:
+        """Volume of the bucket's box."""
+        return self.box.volume
+
+
+@dataclass
+class BucketSet:
+    """A collection of disjoint buckets covering (a subset of) the domain."""
+
+    domain: Hyperrectangle
+    buckets: list[Bucket] = field(default_factory=list)
+
+    @classmethod
+    def initial(cls, domain: Hyperrectangle) -> "BucketSet":
+        """Start with a single bucket covering the domain with mass 1."""
+        return cls(domain=domain, buckets=[Bucket(box=domain, frequency=1.0)])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def __iter__(self):
+        return iter(self.buckets)
+
+    @property
+    def boxes(self) -> list[Hyperrectangle]:
+        """The bucket boxes in order."""
+        return [bucket.box for bucket in self.buckets]
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """The bucket frequencies as a vector."""
+        return np.array([bucket.frequency for bucket in self.buckets])
+
+    @property
+    def volumes(self) -> np.ndarray:
+        """The bucket volumes as a vector."""
+        return np.array([bucket.volume for bucket in self.buckets])
+
+    @property
+    def total_mass(self) -> float:
+        """Sum of all bucket frequencies."""
+        return float(sum(bucket.frequency for bucket in self.buckets))
+
+    def set_frequencies(self, frequencies: Sequence[float] | np.ndarray) -> None:
+        """Overwrite every bucket frequency (used after a global refit)."""
+        values = np.asarray(frequencies, dtype=float)
+        if values.shape != (len(self.buckets),):
+            raise EstimatorError(
+                f"expected {len(self.buckets)} frequencies; got {values.shape}"
+            )
+        for bucket, value in zip(self.buckets, values):
+            bucket.frequency = float(value)
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate_box(self, box: Hyperrectangle) -> float:
+        """Estimated selectivity of a box under the uniform-bucket assumption."""
+        if not self.buckets:
+            return 0.0
+        overlaps = cross_intersection_volumes([box], self.boxes)[0]
+        volumes = self.volumes
+        fractions = np.divide(
+            overlaps, volumes, out=np.zeros_like(overlaps), where=volumes > 0
+        )
+        return float(np.dot(self.frequencies, fractions))
+
+    def estimate_region(self, region: Region) -> float:
+        """Estimated selectivity of a union-of-boxes region."""
+        if region.is_empty or not self.buckets:
+            return 0.0
+        overlaps = region.intersection_volumes(self.boxes)
+        volumes = self.volumes
+        fractions = np.divide(
+            overlaps, volumes, out=np.zeros_like(overlaps), where=volumes > 0
+        )
+        return float(np.dot(self.frequencies, fractions))
+
+    def membership_matrix(self, regions: Sequence[Region]) -> np.ndarray:
+        """0/1 matrix saying which buckets lie inside which predicate regions.
+
+        After drilling every observed predicate, each bucket is either
+        fully inside or fully outside each region; a bucket is classified
+        as "inside" when the region covers (almost all of) its volume.
+        """
+        if not self.buckets:
+            return np.zeros((len(regions), 0))
+        boxes = self.boxes
+        volumes = self.volumes
+        matrix = np.zeros((len(regions), len(boxes)))
+        for row, region in enumerate(regions):
+            overlaps = region.intersection_volumes(boxes)
+            fractions = np.divide(
+                overlaps, volumes, out=np.zeros_like(overlaps), where=volumes > 0
+            )
+            matrix[row] = (fractions > 0.5).astype(float)
+        return matrix
+
+
+def drill(
+    bucket_set: BucketSet, target_boxes: Iterable[Hyperrectangle]
+) -> list[int]:
+    """Split buckets so each is fully inside or outside every target box.
+
+    For every box in ``target_boxes`` (the disjoint pieces of an observed
+    predicate's region), each partially-overlapping bucket is replaced by
+    the overlap bucket plus the slab decomposition of the remainder.  The
+    original bucket's frequency is distributed proportionally to volume
+    (the STHoles "uniform spread" assumption).
+
+    Returns the indices (into the updated ``bucket_set.buckets``) of the
+    buckets that now lie inside the target boxes.
+    """
+    targets = list(target_boxes)
+    for target in targets:
+        updated: list[Bucket] = []
+        for bucket in bucket_set.buckets:
+            overlap_volume = bucket.box.intersection_volume(target)
+            if overlap_volume <= 0.0 or bucket.volume <= 0.0:
+                updated.append(bucket)
+                continue
+            if overlap_volume >= bucket.volume * (1.0 - 1e-12):
+                # Fully contained: nothing to split.
+                updated.append(bucket)
+                continue
+            overlap_box = bucket.box.intersection(target)
+            assert overlap_box is not None
+            remainder = bucket.box.subtract(target)
+            pieces = [overlap_box] + remainder
+            piece_volumes = np.array([piece.volume for piece in pieces])
+            total = piece_volumes.sum()
+            if total <= 0.0:
+                updated.append(bucket)
+                continue
+            shares = bucket.frequency * piece_volumes / total
+            for piece, share in zip(pieces, shares):
+                updated.append(Bucket(box=piece, frequency=float(share)))
+        bucket_set.buckets = updated
+
+    inside: list[int] = []
+    for index, bucket in enumerate(bucket_set.buckets):
+        if bucket.volume <= 0.0:
+            continue
+        covered = sum(bucket.box.intersection_volume(t) for t in targets)
+        if covered >= bucket.volume * (1.0 - 1e-9):
+            inside.append(index)
+    return inside

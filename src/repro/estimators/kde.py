@@ -1,0 +1,115 @@
+"""Scan-based kernel-density-estimation selectivity estimator.
+
+The related-work section of the paper (Section 7.1) discusses KDE-based
+selectivity estimation (GenHist, Heimel et al.) as the closest scan-based
+relative of mixture models.  We include a product-Gaussian KDE estimator
+as an extension so the model-effectiveness comparison of Section 5.5 can
+also be run against a scan-based density model.
+
+The estimator keeps a uniform sample of rows, places an axis-aligned
+Gaussian kernel on each sampled point (bandwidth per dimension from
+Scott's rule), and evaluates the probability mass of a predicate box as a
+product of one-dimensional normal CDF differences, averaged over the
+sample points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from repro.core.geometry import Hyperrectangle
+from repro.estimators.base import DataSource, PredicateLike, ScanBasedEstimator
+from repro.exceptions import EstimatorError
+
+__all__ = ["KDEEstimator"]
+
+
+def _normal_cdf(values: np.ndarray) -> np.ndarray:
+    """Standard normal CDF, vectorised."""
+    return 0.5 * (1.0 + special.erf(values / np.sqrt(2.0)))
+
+
+class KDEEstimator(ScanBasedEstimator):
+    """Product-Gaussian kernel density estimator over a row sample."""
+
+    name = "KDE"
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        data_source: DataSource,
+        sample_size: int = 1000,
+        update_threshold: float = 0.2,
+        bandwidth_scale: float = 1.0,
+        random_seed: int | None = 0,
+    ) -> None:
+        super().__init__(domain, data_source, update_threshold=update_threshold)
+        if sample_size < 2:
+            raise EstimatorError("sample_size must be >= 2")
+        if bandwidth_scale <= 0:
+            raise EstimatorError("bandwidth_scale must be positive")
+        self._sample_size = sample_size
+        self._bandwidth_scale = bandwidth_scale
+        self._rng = np.random.default_rng(random_seed)
+        self._sample: np.ndarray | None = None
+        self._bandwidths: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # SelectivityEstimator interface
+    # ------------------------------------------------------------------
+    @property
+    def parameter_count(self) -> int:
+        """Sample points times dimensions (stored kernel centres)."""
+        if self._sample is None:
+            return 0
+        return int(self._sample.shape[0])
+
+    def estimate(self, predicate: PredicateLike) -> float:
+        if self._sample is None or self._bandwidths is None:
+            raise EstimatorError("KDEEstimator.refresh() must be called first")
+        if self._sample.shape[0] == 0:
+            return 0.0
+        region = self._region(predicate)
+        if region.is_empty:
+            return 0.0
+        total = 0.0
+        for box in region.boxes:
+            total += self._box_mass(box)
+        return float(min(max(total, 0.0), 1.0))
+
+    # ------------------------------------------------------------------
+    # ScanBasedEstimator interface
+    # ------------------------------------------------------------------
+    def _build(self, data: np.ndarray) -> None:
+        row_count = data.shape[0]
+        if row_count == 0:
+            self._sample = data.copy()
+            self._bandwidths = np.ones(self._domain.dimension)
+            return
+        if row_count <= self._sample_size:
+            sample = data.copy()
+        else:
+            picked = self._rng.choice(row_count, size=self._sample_size, replace=False)
+            sample = data[picked].copy()
+        count, dimension = sample.shape
+        spreads = sample.std(axis=0, ddof=1) if count > 1 else np.ones(dimension)
+        spreads = np.where(spreads > 0, spreads, self._domain.widths / 10.0)
+        # Scott's rule: h_d = sigma_d * n^(-1 / (d + 4)).
+        scotts = spreads * count ** (-1.0 / (dimension + 4))
+        self._bandwidths = np.maximum(scotts * self._bandwidth_scale, 1e-12)
+        self._sample = sample
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _box_mass(self, box: Hyperrectangle) -> float:
+        assert self._sample is not None and self._bandwidths is not None
+        lower = (box.lower[None, :] - self._sample) / self._bandwidths[None, :]
+        upper = (box.upper[None, :] - self._sample) / self._bandwidths[None, :]
+        per_dimension = _normal_cdf(upper) - _normal_cdf(lower)
+        per_point = per_dimension.prod(axis=1)
+        return float(per_point.mean())
+
+    def __repr__(self) -> str:
+        return f"KDEEstimator(sample={self.parameter_count})"

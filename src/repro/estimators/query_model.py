@@ -1,0 +1,108 @@
+"""QueryModel: similarity-weighted averaging over observed queries.
+
+The fourth query-driven baseline of Section 5.1 (Anagnostopoulos &
+Triantafillou).  It never builds a model of the data at all: the estimate
+for a new predicate is a weighted average of the selectivities of the
+observed queries, with weights given by the similarity between the new
+predicate and each observed predicate.
+
+The similarity kernel used here combines the volume-Jaccard overlap of
+the two predicate regions with a Gaussian kernel on the distance between
+their centres (so non-overlapping but nearby queries still contribute, as
+the original method's query-space clustering does).  With no observed
+queries the estimator falls back to the predicate's volume fraction of
+the domain — the uninformed uniform prior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.region import Region
+from repro.estimators.base import PredicateLike, QueryDrivenEstimator
+from repro.exceptions import EstimatorError
+
+__all__ = ["QueryModel"]
+
+
+class QueryModel(QueryDrivenEstimator):
+    """Selectivity estimation by similarity-weighted query averaging."""
+
+    name = "QueryModel"
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        bandwidth: float = 0.1,
+        overlap_weight: float = 1.0,
+    ) -> None:
+        super().__init__(domain)
+        if bandwidth <= 0:
+            raise EstimatorError("bandwidth must be positive")
+        if overlap_weight < 0:
+            raise EstimatorError("overlap_weight must be non-negative")
+        self._bandwidth = bandwidth
+        self._overlap_weight = overlap_weight
+        self._queries: list[tuple[Region, float, np.ndarray, float]] = []
+        self._observed_count = 0
+        # Normalise centre distances by the domain diagonal so the
+        # bandwidth is scale-free.
+        self._scale = float(np.linalg.norm(domain.widths)) or 1.0
+
+    # ------------------------------------------------------------------
+    # SelectivityEstimator interface
+    # ------------------------------------------------------------------
+    @property
+    def parameter_count(self) -> int:
+        """Each remembered query contributes one stored selectivity."""
+        return len(self._queries)
+
+    def observe(self, predicate: PredicateLike, selectivity: float) -> None:
+        if not (0.0 <= selectivity <= 1.0):
+            raise EstimatorError("selectivity must be in [0, 1]")
+        region = self._region(predicate)
+        self._observed_count += 1
+        if region.is_empty:
+            return
+        bounding = region.bounding_box()
+        assert bounding is not None
+        self._queries.append(
+            (region, selectivity, bounding.center, region.volume)
+        )
+
+    def estimate(self, predicate: PredicateLike) -> float:
+        region = self._region(predicate)
+        if region.is_empty:
+            return 0.0
+        domain_volume = self._domain.volume
+        prior = region.volume / domain_volume if domain_volume > 0 else 0.0
+        if not self._queries:
+            return float(min(max(prior, 0.0), 1.0))
+
+        bounding = region.bounding_box()
+        assert bounding is not None
+        center = bounding.center
+        volume = region.volume
+
+        weights = np.empty(len(self._queries))
+        values = np.empty(len(self._queries))
+        for index, (observed_region, selectivity, observed_center, observed_volume) in enumerate(
+            self._queries
+        ):
+            overlap = observed_region.intersection_volumes(list(region.boxes)).sum()
+            union = volume + observed_volume - overlap
+            jaccard = overlap / union if union > 0 else 0.0
+            distance = np.linalg.norm(center - observed_center) / self._scale
+            kernel = float(np.exp(-0.5 * (distance / self._bandwidth) ** 2))
+            weights[index] = self._overlap_weight * jaccard + kernel
+            values[index] = selectivity
+
+        total = weights.sum()
+        if total <= 1e-12:
+            return float(min(max(prior, 0.0), 1.0))
+        estimate = float(np.dot(weights, values) / total)
+        return float(min(max(estimate, 0.0), 1.0))
+
+    def __repr__(self) -> str:
+        return f"QueryModel(observed={self._observed_count})"

@@ -1,0 +1,99 @@
+"""A small factory registry for the estimators used in the evaluation.
+
+The experiment harness refers to estimators by name ("QuickSel",
+"ISOMER", ...), mirroring the method labels used in the paper's tables
+and figures.  The registry centralises construction so experiments and
+examples build estimators consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.quicksel import QuickSel
+from repro.estimators.auto_hist import AutoHist
+from repro.estimators.auto_sample import AutoSample
+from repro.estimators.base import DataSource, SelectivityEstimator
+from repro.estimators.isomer import Isomer
+from repro.estimators.isomer_qp import IsomerQP
+from repro.estimators.kde import KDEEstimator
+from repro.estimators.query_model import QueryModel
+from repro.estimators.stholes import STHoles
+from repro.exceptions import EstimatorError
+
+__all__ = [
+    "QUERY_DRIVEN_ESTIMATORS",
+    "SCAN_BASED_ESTIMATORS",
+    "make_query_driven",
+    "make_scan_based",
+]
+
+QUERY_DRIVEN_ESTIMATORS: dict[str, Callable[..., SelectivityEstimator]] = {
+    "QuickSel": lambda domain, **kw: QuickSel(
+        domain, config=kw.get("config", QuickSelConfig())
+    ),
+    "STHoles": lambda domain, **kw: STHoles(
+        domain, max_buckets=kw.get("max_buckets", 1000)
+    ),
+    "ISOMER": lambda domain, **kw: Isomer(
+        domain,
+        max_queries=kw.get("max_queries"),
+        max_buckets=kw.get("max_buckets", 200_000),
+    ),
+    "ISOMER+QP": lambda domain, **kw: IsomerQP(
+        domain, max_buckets=kw.get("max_buckets", 200_000)
+    ),
+    "QueryModel": lambda domain, **kw: QueryModel(
+        domain, bandwidth=kw.get("bandwidth", 0.1)
+    ),
+}
+
+SCAN_BASED_ESTIMATORS: dict[str, Callable[..., SelectivityEstimator]] = {
+    "AutoHist": lambda domain, data_source, **kw: AutoHist(
+        domain,
+        data_source,
+        bucket_budget=kw.get("bucket_budget", 100),
+        update_threshold=kw.get("update_threshold", 0.2),
+    ),
+    "AutoSample": lambda domain, data_source, **kw: AutoSample(
+        domain,
+        data_source,
+        sample_size=kw.get("sample_size", 100),
+        update_threshold=kw.get("update_threshold", 0.1),
+    ),
+    "KDE": lambda domain, data_source, **kw: KDEEstimator(
+        domain,
+        data_source,
+        sample_size=kw.get("sample_size", 1000),
+    ),
+}
+
+
+def make_query_driven(
+    name: str, domain: Hyperrectangle, **kwargs
+) -> SelectivityEstimator:
+    """Construct a query-driven estimator by its paper name."""
+    try:
+        factory = QUERY_DRIVEN_ESTIMATORS[name]
+    except KeyError as error:
+        raise EstimatorError(
+            f"unknown query-driven estimator {name!r}; "
+            f"available: {sorted(QUERY_DRIVEN_ESTIMATORS)}"
+        ) from error
+    return factory(domain, **kwargs)
+
+
+def make_scan_based(
+    name: str, domain: Hyperrectangle, data_source: DataSource, **kwargs
+) -> SelectivityEstimator:
+    """Construct a scan-based estimator by its paper name."""
+    try:
+        factory = SCAN_BASED_ESTIMATORS[name]
+    except KeyError as error:
+        raise EstimatorError(
+            f"unknown scan-based estimator {name!r}; "
+            f"available: {sorted(SCAN_BASED_ESTIMATORS)}"
+        ) from error
+    return factory(domain, data_source, **kwargs)

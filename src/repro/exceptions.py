@@ -1,0 +1,56 @@
+"""Exception hierarchy for the QuickSel reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch one type to handle any failure originating in this package while
+letting programming errors (TypeError, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "PredicateError",
+    "SchemaError",
+    "TrainingError",
+    "SolverError",
+    "EstimatorError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid interval/hyperrectangle construction or operation."""
+
+
+class PredicateError(ReproError):
+    """Invalid predicate or constraint specification."""
+
+
+class SchemaError(ReproError):
+    """Invalid table schema, column definition, or value encoding."""
+
+
+class TrainingError(ReproError):
+    """Model training failed or was given inconsistent inputs."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to produce a usable solution."""
+
+
+class EstimatorError(ReproError):
+    """A selectivity estimator was misused (e.g. estimate before build)."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload or data-generator configuration."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,73 @@
+"""Experiment harness regenerating every table and figure of the evaluation.
+
+One module per paper artefact:
+
+* :mod:`repro.experiments.table3` — Table 3a/3b (QuickSel vs ISOMER),
+* :mod:`repro.experiments.figure3` — Figure 3a–f (end-to-end comparison),
+* :mod:`repro.experiments.figure4` — Figure 4a–d (model effectiveness),
+* :mod:`repro.experiments.figure5` — Figure 5a/b (vs scan-based methods),
+* :mod:`repro.experiments.figure6` — Figure 6 (QP solver comparison),
+* :mod:`repro.experiments.figure7` — Figure 7a–d (robustness),
+* :mod:`repro.experiments.ablations` — design-choice ablations.
+
+Shared infrastructure lives in :mod:`repro.experiments.harness`
+(training/evaluation sweeps), :mod:`repro.experiments.metrics` (the
+paper's error definitions), :mod:`repro.experiments.datasets` (workload
+bundles), and :mod:`repro.experiments.reporting` (text tables/series).
+"""
+
+from repro.experiments.ablations import (
+    AblationRecord,
+    run_anchor_points_ablation,
+    run_clipping_ablation,
+    run_penalty_ablation,
+    run_solver_ablation,
+)
+from repro.experiments.datasets import WorkloadBundle, make_bundle
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.harness import TrialRecord, evaluate, sweep_query_driven
+from repro.experiments.metrics import (
+    EPSILON,
+    absolute_error,
+    mean_absolute_error,
+    mean_relative_error,
+    relative_error,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.table3 import Table3Result, run_table3
+
+__all__ = [
+    "EPSILON",
+    "relative_error",
+    "absolute_error",
+    "mean_relative_error",
+    "mean_absolute_error",
+    "TrialRecord",
+    "evaluate",
+    "sweep_query_driven",
+    "WorkloadBundle",
+    "make_bundle",
+    "format_table",
+    "format_series",
+    "Table3Result",
+    "run_table3",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "Figure7Result",
+    "run_figure7",
+    "AblationRecord",
+    "run_penalty_ablation",
+    "run_clipping_ablation",
+    "run_anchor_points_ablation",
+    "run_solver_ablation",
+]

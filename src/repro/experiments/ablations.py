@@ -1,0 +1,165 @@
+"""Ablations of QuickSel's design choices (beyond the paper's figures).
+
+DESIGN.md lists the design decisions the paper fixes without a dedicated
+experiment; these ablations quantify them on the Gaussian workload:
+
+* **penalty λ** — Problem 3 uses λ = 1e6; sweeping it shows the trade
+  between constraint satisfaction and numerical conditioning,
+* **negative-weight clipping** — the analytic solution can produce small
+  negative weights; clipping vs leaving them,
+* **points per predicate** — the paper samples 10 anchor points inside
+  each predicate (Section 3.3) and reports diminishing returns past 10,
+* **solver choice** — analytic vs projected gradient vs SciPy SLSQP on
+  identical problems (accuracy, not just runtime, which Figure 6 covers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import QuickSelConfig
+from repro.core.quicksel import QuickSel
+from repro.experiments.datasets import make_bundle
+from repro.experiments.harness import evaluate
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "AblationRecord",
+    "run_penalty_ablation",
+    "run_clipping_ablation",
+    "run_anchor_points_ablation",
+    "run_solver_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AblationRecord:
+    """Result of one ablation configuration."""
+
+    ablation: str
+    setting: str
+    relative_error_pct: float
+    absolute_error: float
+    constraint_residual: float
+
+    @staticmethod
+    def render(records: list["AblationRecord"], title: str) -> str:
+        """Format ablation records as a table."""
+        return format_table(records, title=title)
+
+
+def _run_config(
+    config: QuickSelConfig,
+    ablation: str,
+    setting: str,
+    train_queries: int,
+    test_queries: int,
+    row_count: int,
+    seed: int,
+) -> AblationRecord:
+    bundle = make_bundle(
+        "gaussian",
+        train_queries=train_queries,
+        test_queries=test_queries,
+        row_count=row_count,
+        seed=seed,
+        correlation=0.5,
+    )
+    estimator = QuickSel(bundle.domain, config)
+    for predicate, selectivity in bundle.train:
+        estimator.observe(predicate, selectivity)
+    stats = estimator.refit()
+    relative, absolute, _ = evaluate(estimator, bundle.test)
+    return AblationRecord(
+        ablation=ablation,
+        setting=setting,
+        relative_error_pct=relative,
+        absolute_error=absolute,
+        constraint_residual=stats.constraint_residual,
+    )
+
+
+def run_penalty_ablation(
+    penalties: tuple[float, ...] = (1e2, 1e4, 1e6, 1e8),
+    train_queries: int = 100,
+    test_queries: int = 100,
+    row_count: int = 30_000,
+    seed: int = 0,
+) -> list[AblationRecord]:
+    """Sweep the constraint penalty λ of Problem 3."""
+    return [
+        _run_config(
+            QuickSelConfig(penalty=penalty, random_seed=seed),
+            "penalty",
+            f"lambda={penalty:g}",
+            train_queries,
+            test_queries,
+            row_count,
+            seed,
+        )
+        for penalty in penalties
+    ]
+
+
+def run_clipping_ablation(
+    train_queries: int = 100,
+    test_queries: int = 100,
+    row_count: int = 30_000,
+    seed: int = 0,
+) -> list[AblationRecord]:
+    """Compare clipping negative weights vs using the raw analytic solution."""
+    return [
+        _run_config(
+            QuickSelConfig(clip_negative_weights=clip, random_seed=seed),
+            "clip_negative_weights",
+            str(clip),
+            train_queries,
+            test_queries,
+            row_count,
+            seed,
+        )
+        for clip in (True, False)
+    ]
+
+
+def run_anchor_points_ablation(
+    points_per_predicate: tuple[int, ...] = (1, 5, 10, 20),
+    train_queries: int = 100,
+    test_queries: int = 100,
+    row_count: int = 30_000,
+    seed: int = 0,
+) -> list[AblationRecord]:
+    """Sweep the number of anchor points sampled inside each predicate."""
+    return [
+        _run_config(
+            QuickSelConfig(points_per_predicate=count, random_seed=seed),
+            "points_per_predicate",
+            str(count),
+            train_queries,
+            test_queries,
+            row_count,
+            seed,
+        )
+        for count in points_per_predicate
+    ]
+
+
+def run_solver_ablation(
+    train_queries: int = 80,
+    test_queries: int = 80,
+    row_count: int = 30_000,
+    seed: int = 0,
+) -> list[AblationRecord]:
+    """Compare the three solvers on identical training problems."""
+    return [
+        _run_config(
+            QuickSelConfig(solver=solver, random_seed=seed),
+            "solver",
+            solver,
+            train_queries,
+            test_queries,
+            row_count,
+            seed,
+        )
+        for solver in ("analytic", "projected_gradient", "scipy")
+    ]

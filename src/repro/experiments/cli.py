@@ -1,0 +1,129 @@
+"""Command-line runner for the evaluation experiments.
+
+Lets a user regenerate any table or figure without writing Python:
+
+```
+python -m repro table3 --scale small
+python -m repro figure6 --queries 50 100 200
+python -m repro figure7 --full
+```
+
+Each sub-command runs the corresponding module under
+:mod:`repro.experiments` and prints the rendered rows/series.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.experiments.ablations import (
+    AblationRecord,
+    run_anchor_points_ablation,
+    run_clipping_ablation,
+    run_penalty_ablation,
+    run_solver_ablation,
+)
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.table3 import run_table3
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the experiment runner."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the QuickSel paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="experiment", required=True)
+
+    table3 = subparsers.add_parser("table3", help="Table 3a/3b: QuickSel vs ISOMER")
+    table3.add_argument("--scale", choices=("small", "medium", "paper"), default="small")
+    table3.add_argument("--rows", type=int, default=30_000)
+
+    figure3 = subparsers.add_parser("figure3", help="Figure 3: end-to-end comparison")
+    figure4 = subparsers.add_parser("figure4", help="Figure 4: model effectiveness")
+    for sub in (figure3, figure4):
+        sub.add_argument("--rows", type=int, default=30_000)
+        sub.add_argument(
+            "--checkpoints", type=int, nargs="+", default=[10, 25, 50]
+        )
+        sub.add_argument("--fast", action="store_true", help="skip the slow histogram baselines")
+
+    figure5 = subparsers.add_parser("figure5", help="Figure 5: vs scan-based methods under drift")
+    figure5.add_argument("--rows", type=int, default=50_000)
+    figure5.add_argument("--phases", type=int, default=10)
+
+    figure6 = subparsers.add_parser("figure6", help="Figure 6: QP solver comparison")
+    figure6.add_argument("--queries", type=int, nargs="+", default=[50, 100, 200, 400])
+    figure6.add_argument("--scipy", action="store_true", help="include the SciPy SLSQP solver")
+
+    figure7 = subparsers.add_parser("figure7", help="Figure 7: robustness panels")
+    figure7.add_argument("--rows", type=int, default=30_000)
+    figure7.add_argument("--full", action="store_true", help="run the full (slower) sweeps")
+
+    ablations = subparsers.add_parser("ablations", help="design-choice ablations")
+    ablations.add_argument(
+        "--which",
+        choices=("penalty", "clipping", "anchors", "solver", "all"),
+        default="all",
+    )
+    return parser
+
+
+def _run_ablations(which: str) -> str:
+    parts = []
+    if which in ("penalty", "all"):
+        parts.append(AblationRecord.render(run_penalty_ablation(), "Ablation: penalty λ"))
+    if which in ("clipping", "all"):
+        parts.append(
+            AblationRecord.render(run_clipping_ablation(), "Ablation: clip negative weights")
+        )
+    if which in ("anchors", "all"):
+        parts.append(
+            AblationRecord.render(
+                run_anchor_points_ablation(), "Ablation: anchor points per predicate"
+            )
+        )
+    if which in ("solver", "all"):
+        parts.append(AblationRecord.render(run_solver_ablation(), "Ablation: solver"))
+    return "\n\n".join(parts)
+
+
+def main(argv: Sequence[str] | None = None) -> str:
+    """Run the selected experiment and return (and print) its report."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "table3":
+        report = run_table3(scale=args.scale, row_count=args.rows).render()
+    elif args.experiment == "figure3":
+        report = run_figure3(
+            checkpoints=tuple(args.checkpoints),
+            row_count=args.rows,
+            include_slow=not args.fast,
+        ).render()
+    elif args.experiment == "figure4":
+        report = run_figure4(
+            checkpoints=tuple(args.checkpoints),
+            row_count=args.rows,
+            include_slow=not args.fast,
+        ).render()
+    elif args.experiment == "figure5":
+        report = run_figure5(initial_rows=args.rows, phases=args.phases).render()
+    elif args.experiment == "figure6":
+        report = run_figure6(
+            query_counts=tuple(args.queries), include_scipy=args.scipy
+        ).render()
+    elif args.experiment == "figure7":
+        report = run_figure7(small=not args.full, row_count=args.rows).render()
+    else:  # ablations
+        report = _run_ablations(args.which)
+
+    print(report)
+    return report

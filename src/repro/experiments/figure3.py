@@ -1,0 +1,150 @@
+"""Figure 3: end-to-end comparison against query-driven histograms.
+
+Figure 3 has three panels per dataset (DMV on the top row, Instacart on
+the bottom):
+
+* (a)/(d) number of observed queries vs per-query training time,
+* (b)/(e) per-query training time vs relative error,
+* (c)/(f) relative error vs total training time (ISOMER vs QuickSel).
+
+All three are different slices of the same sweep: train STHoles, ISOMER,
+ISOMER+QP, QueryModel, and QuickSel on a growing query stream and record
+time/error/size at each checkpoint.  :func:`run_figure3` performs the
+sweep and exposes the three series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.quicksel import QuickSel
+from repro.estimators.isomer import Isomer
+from repro.estimators.isomer_qp import IsomerQP
+from repro.estimators.query_model import QueryModel
+from repro.estimators.stholes import STHoles
+from repro.experiments.datasets import make_bundle
+from repro.experiments.harness import TrialRecord, sweep_query_driven
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = ["Figure3Result", "run_figure3", "default_factories"]
+
+
+def default_factories(seed: int = 0, include_slow: bool = True):
+    """Estimator factories for the Figure 3/4 sweeps."""
+    factories = {
+        "QuickSel": lambda domain: QuickSel(domain, QuickSelConfig(random_seed=seed)),
+        "QueryModel": lambda domain: QueryModel(domain),
+    }
+    if include_slow:
+        factories.update(
+            {
+                "STHoles": lambda domain: STHoles(domain, max_buckets=2000),
+                "ISOMER": lambda domain: Isomer(domain),
+                "ISOMER+QP": lambda domain: IsomerQP(domain),
+            }
+        )
+    return factories
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """The sweep records plus the three derived series per dataset."""
+
+    records: list[TrialRecord]
+
+    def records_for(self, dataset: str) -> list[TrialRecord]:
+        """Records restricted to one dataset."""
+        return [r for r in self.records if r.dataset == dataset]
+
+    def queries_vs_time(self, dataset: str) -> dict[str, list[tuple[float, float]]]:
+        """Panel (a)/(d): observed queries -> per-query training time (ms)."""
+        series: dict[str, list[tuple[float, float]]] = {}
+        for record in self.records_for(dataset):
+            series.setdefault(record.method, []).append(
+                (record.observed_queries, record.per_query_ms)
+            )
+        return series
+
+    def time_vs_error(self, dataset: str) -> dict[str, list[tuple[float, float]]]:
+        """Panel (b)/(e): per-query training time (ms) -> relative error (%)."""
+        series: dict[str, list[tuple[float, float]]] = {}
+        for record in self.records_for(dataset):
+            series.setdefault(record.method, []).append(
+                (record.per_query_ms, record.relative_error_pct)
+            )
+        return series
+
+    def error_vs_time(self, dataset: str) -> dict[str, list[tuple[float, float]]]:
+        """Panel (c)/(f): relative error (%) -> total training time (ms)."""
+        series: dict[str, list[tuple[float, float]]] = {}
+        for record in self.records_for(dataset):
+            if record.method not in ("ISOMER", "QuickSel"):
+                continue
+            series.setdefault(record.method, []).append(
+                (record.relative_error_pct, record.train_seconds_total * 1000.0)
+            )
+        return series
+
+    def render(self) -> str:
+        """Text rendering of all panels."""
+        parts = [format_table(self.records, title="Figure 3 sweep records")]
+        datasets = sorted({record.dataset for record in self.records})
+        for dataset in datasets:
+            parts.append(
+                format_series(
+                    self.queries_vs_time(dataset),
+                    x_label="observed queries",
+                    y_label="per-query time (ms)",
+                    title=f"Figure 3a/d [{dataset}]: #queries vs time",
+                )
+            )
+            parts.append(
+                format_series(
+                    self.time_vs_error(dataset),
+                    x_label="per-query time (ms)",
+                    y_label="relative error (%)",
+                    title=f"Figure 3b/e [{dataset}]: time vs error",
+                )
+            )
+            parts.append(
+                format_series(
+                    self.error_vs_time(dataset),
+                    x_label="relative error (%)",
+                    y_label="total training time (ms)",
+                    title=f"Figure 3c/f [{dataset}]: error vs time",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_figure3(
+    datasets: tuple[str, ...] = ("dmv", "instacart"),
+    checkpoints: tuple[int, ...] = (10, 25, 50, 75, 100),
+    test_queries: int = 50,
+    row_count: int | None = 50_000,
+    include_slow: bool = True,
+    seed: int = 0,
+) -> Figure3Result:
+    """Run the Figure 3 sweep (scaled-down defaults; see module docstring)."""
+    records: list[TrialRecord] = []
+    for dataset in datasets:
+        bundle = make_bundle(
+            dataset,
+            train_queries=max(checkpoints),
+            test_queries=test_queries,
+            row_count=row_count,
+            seed=seed,
+        )
+        records.extend(
+            sweep_query_driven(
+                default_factories(seed=seed, include_slow=include_slow),
+                bundle.domain,
+                bundle.train,
+                bundle.test,
+                checkpoints,
+                dataset=dataset,
+            )
+        )
+    return Figure3Result(records=records)

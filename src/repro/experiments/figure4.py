@@ -1,0 +1,110 @@
+"""Figure 4: model-size growth and parameter efficiency.
+
+Figure 4 compares the *models* rather than the end-to-end systems:
+
+* (a)/(c) number of observed queries vs number of model parameters — shows
+  ISOMER's bucket explosion against QuickSel's ``min(4n, 4000)`` rule,
+* (b)/(d) number of model parameters vs relative error — shows that, for
+  the same parameter budget, the mixture model is more accurate than the
+  query-driven histograms.
+
+The sweep is the same shape as Figure 3's, so this module reuses the
+harness and simply slices the records differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.datasets import make_bundle
+from repro.experiments.figure3 import default_factories
+from repro.experiments.harness import TrialRecord, sweep_query_driven
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = ["Figure4Result", "run_figure4"]
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """The sweep records plus the two derived series per dataset."""
+
+    records: list[TrialRecord]
+
+    def records_for(self, dataset: str) -> list[TrialRecord]:
+        """Records restricted to one dataset."""
+        return [r for r in self.records if r.dataset == dataset]
+
+    def queries_vs_parameters(
+        self, dataset: str
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Panel (a)/(c): observed queries -> number of model parameters."""
+        series: dict[str, list[tuple[float, float]]] = {}
+        for record in self.records_for(dataset):
+            series.setdefault(record.method, []).append(
+                (record.observed_queries, record.parameter_count)
+            )
+        return series
+
+    def parameters_vs_error(
+        self, dataset: str
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Panel (b)/(d): number of model parameters -> relative error (%)."""
+        series: dict[str, list[tuple[float, float]]] = {}
+        for record in self.records_for(dataset):
+            series.setdefault(record.method, []).append(
+                (record.parameter_count, record.relative_error_pct)
+            )
+        return series
+
+    def render(self) -> str:
+        """Text rendering of both panels for every dataset."""
+        parts = [format_table(self.records, title="Figure 4 sweep records")]
+        for dataset in sorted({record.dataset for record in self.records}):
+            parts.append(
+                format_series(
+                    self.queries_vs_parameters(dataset),
+                    x_label="observed queries",
+                    y_label="model parameters",
+                    title=f"Figure 4a/c [{dataset}]: #queries vs #parameters",
+                )
+            )
+            parts.append(
+                format_series(
+                    self.parameters_vs_error(dataset),
+                    x_label="model parameters",
+                    y_label="relative error (%)",
+                    title=f"Figure 4b/d [{dataset}]: #parameters vs error",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_figure4(
+    datasets: tuple[str, ...] = ("dmv", "instacart"),
+    checkpoints: tuple[int, ...] = (10, 25, 50, 75, 100),
+    test_queries: int = 50,
+    row_count: int | None = 50_000,
+    include_slow: bool = True,
+    seed: int = 0,
+) -> Figure4Result:
+    """Run the Figure 4 sweep (same shape as Figure 3)."""
+    records: list[TrialRecord] = []
+    for dataset in datasets:
+        bundle = make_bundle(
+            dataset,
+            train_queries=max(checkpoints),
+            test_queries=test_queries,
+            row_count=row_count,
+            seed=seed,
+        )
+        records.extend(
+            sweep_query_driven(
+                default_factories(seed=seed, include_slow=include_slow),
+                bundle.domain,
+                bundle.train,
+                bundle.test,
+                checkpoints,
+                dataset=dataset,
+            )
+        )
+    return Figure4Result(records=records)

@@ -1,0 +1,72 @@
+"""Error metrics used throughout the evaluation (Section 5.1, "Metrics").
+
+The paper reports *relative errors* computed as
+
+``(1/t) Σ_i |true_i − est_i| / max(true_i, ε) × 100 %``   with ``ε = 0.001``
+
+(the ``max`` guards against zero or near-zero true selectivities), and
+*absolute errors* ``(1/t) Σ_i |true_i − est_i|`` for the accuracy-at-equal-
+training-time comparison of Table 3b.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "EPSILON",
+    "relative_error",
+    "absolute_error",
+    "mean_relative_error",
+    "mean_absolute_error",
+]
+
+#: The ε guard of the paper's relative-error definition.
+EPSILON = 0.001
+
+
+def relative_error(true_value: float, estimate: float, epsilon: float = EPSILON) -> float:
+    """Relative error of one estimate, in percent."""
+    if epsilon <= 0:
+        raise ExperimentError("epsilon must be positive")
+    return abs(true_value - estimate) / max(true_value, epsilon) * 100.0
+
+
+def absolute_error(true_value: float, estimate: float) -> float:
+    """Absolute error of one estimate."""
+    return abs(true_value - estimate)
+
+
+def _validate(true_values: Sequence[float], estimates: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    truths = np.asarray(true_values, dtype=float)
+    guesses = np.asarray(estimates, dtype=float)
+    if truths.shape != guesses.shape:
+        raise ExperimentError(
+            f"true values and estimates must align; got {truths.shape} vs {guesses.shape}"
+        )
+    if truths.size == 0:
+        raise ExperimentError("cannot compute an error over zero queries")
+    return truths, guesses
+
+
+def mean_relative_error(
+    true_values: Sequence[float],
+    estimates: Sequence[float],
+    epsilon: float = EPSILON,
+) -> float:
+    """Mean relative error over a test set, in percent."""
+    truths, guesses = _validate(true_values, estimates)
+    denominators = np.maximum(truths, epsilon)
+    return float((np.abs(truths - guesses) / denominators).mean() * 100.0)
+
+
+def mean_absolute_error(
+    true_values: Sequence[float], estimates: Sequence[float]
+) -> float:
+    """Mean absolute error over a test set."""
+    truths, guesses = _validate(true_values, estimates)
+    return float(np.abs(truths - guesses).mean())

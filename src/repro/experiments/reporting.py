@@ -1,0 +1,85 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+Every experiment returns structured rows (dataclasses or dicts); these
+helpers turn them into aligned text tables so the benchmark harness can
+print the same rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import asdict, is_dataclass
+
+__all__ = ["rows_to_dicts", "format_table", "format_series"]
+
+
+def rows_to_dicts(rows: Sequence[object]) -> list[dict]:
+    """Normalise dataclass or mapping rows to plain dicts."""
+    result = []
+    for row in rows:
+        if is_dataclass(row) and not isinstance(row, type):
+            result.append(asdict(row))
+        elif isinstance(row, Mapping):
+            result.append(dict(row))
+        else:
+            raise TypeError(f"cannot convert row of type {type(row).__name__}")
+    return result
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[object],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    dict_rows = rows_to_dicts(rows)
+    if not dict_rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(dict_rows[0].keys())
+    header = list(columns)
+    body = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in dict_rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for line in body:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render named (x, y) series — the text equivalent of a figure."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        lines.append(f"[{name}] ({x_label} -> {y_label})")
+        for x, y in points:
+            lines.append(
+                f"  {_format_value(x, precision)} -> {_format_value(y, precision)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Table 3: QuickSel vs ISOMER summary comparison.
+
+Table 3a of the paper compares the per-query refinement time of ISOMER and
+QuickSel at operating points where their errors are similar (ISOMER after
+~150 queries vs QuickSel after ~700), reporting the speedup.  Table 3b
+compares their absolute errors at operating points with similar training
+time (ISOMER after ~60 queries vs QuickSel after ~700), reporting the
+error reduction.
+
+We reproduce both tables on the synthetic DMV and Instacart stand-ins.
+The default operating points are scaled down (pure-Python ISOMER is far
+slower per query than the paper's Java implementation), but the reported
+quantities are the same: error, per-query time, speedup, error reduction.
+Pass ``scale="paper"`` to use the paper's query counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import QuickSelConfig
+from repro.core.quicksel import QuickSel
+from repro.estimators.isomer import Isomer
+from repro.exceptions import ExperimentError
+from repro.experiments.datasets import make_bundle
+from repro.experiments.harness import evaluate
+from repro.experiments.reporting import format_table
+
+__all__ = ["Table3Row", "Table3Result", "run_table3", "SCALES"]
+
+#: Operating points per scale: (isomer efficiency, isomer accuracy, quicksel).
+SCALES: dict[str, dict[str, int]] = {
+    "small": {"isomer_efficiency": 40, "isomer_accuracy": 20, "quicksel": 200},
+    "medium": {"isomer_efficiency": 80, "isomer_accuracy": 40, "quicksel": 400},
+    "paper": {"isomer_efficiency": 150, "isomer_accuracy": 60, "quicksel": 700},
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One (dataset, method) row of Table 3a/3b."""
+
+    dataset: str
+    method: str
+    observed_queries: int
+    parameter_count: int
+    relative_error_pct: float
+    absolute_error: float
+    per_query_ms: float
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Both halves of Table 3 plus the derived speedup / error reduction."""
+
+    efficiency_rows: list[Table3Row]
+    accuracy_rows: list[Table3Row]
+    speedups: dict[str, float]
+    error_reductions_pct: dict[str, float]
+
+    def render(self) -> str:
+        """Format the result the way the paper's Table 3 is laid out."""
+        parts = [
+            format_table(
+                self.efficiency_rows,
+                title="Table 3a: efficiency comparison for similar errors",
+            ),
+            "Speedups (ISOMER per-query time / QuickSel per-query time): "
+            + ", ".join(f"{k}: {v:.1f}x" for k, v in self.speedups.items()),
+            format_table(
+                self.accuracy_rows,
+                title="Table 3b: accuracy comparison for similar training time",
+            ),
+            "Error reduction (1 - QuickSel abs err / ISOMER abs err): "
+            + ", ".join(
+                f"{k}: {v:.1f}%" for k, v in self.error_reductions_pct.items()
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def _train_and_measure(
+    estimator, bundle, query_count: int
+) -> tuple[float, float, float, float, int]:
+    """Train on the first ``query_count`` queries; return metrics."""
+    import time
+
+    train_seconds = 0.0
+    for predicate, selectivity in bundle.train[:query_count]:
+        start = time.perf_counter()
+        estimator.observe(predicate, selectivity)
+        train_seconds += time.perf_counter() - start
+    if isinstance(estimator, QuickSel):
+        start = time.perf_counter()
+        estimator.refit()
+        train_seconds += time.perf_counter() - start
+    relative, absolute, _ = evaluate(estimator, bundle.test)
+    per_query_ms = train_seconds / query_count * 1000.0
+    return relative, absolute, train_seconds, per_query_ms, estimator.parameter_count
+
+
+def run_table3(
+    scale: str = "small",
+    row_count: int | None = None,
+    test_queries: int = 100,
+    seed: int = 0,
+) -> Table3Result:
+    """Run the Table 3 comparison on the DMV and Instacart stand-ins."""
+    if scale not in SCALES:
+        raise ExperimentError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    points = SCALES[scale]
+
+    efficiency_rows: list[Table3Row] = []
+    accuracy_rows: list[Table3Row] = []
+    speedups: dict[str, float] = {}
+    error_reductions: dict[str, float] = {}
+
+    for dataset in ("dmv", "instacart"):
+        bundle = make_bundle(
+            dataset,
+            train_queries=max(points["quicksel"], points["isomer_efficiency"]),
+            test_queries=test_queries,
+            row_count=row_count,
+            seed=seed,
+        )
+
+        # --- Table 3a: efficiency at similar error -----------------------
+        isomer = Isomer(bundle.domain)
+        iso_rel, iso_abs, _, iso_ms, iso_params = _train_and_measure(
+            isomer, bundle, points["isomer_efficiency"]
+        )
+        quicksel = QuickSel(bundle.domain, QuickSelConfig(random_seed=seed))
+        qs_rel, qs_abs, _, qs_ms, qs_params = _train_and_measure(
+            quicksel, bundle, points["quicksel"]
+        )
+        efficiency_rows.extend(
+            [
+                Table3Row(
+                    dataset, "ISOMER", points["isomer_efficiency"], iso_params,
+                    iso_rel, iso_abs, iso_ms,
+                ),
+                Table3Row(
+                    dataset, "QuickSel", points["quicksel"], qs_params,
+                    qs_rel, qs_abs, qs_ms,
+                ),
+            ]
+        )
+        speedups[dataset] = iso_ms / qs_ms if qs_ms > 0 else float("inf")
+
+        # --- Table 3b: accuracy at similar training time ------------------
+        isomer_small = Isomer(bundle.domain)
+        _, iso_small_abs, _, iso_small_ms, iso_small_params = _train_and_measure(
+            isomer_small, bundle, points["isomer_accuracy"]
+        )
+        quicksel_b = QuickSel(bundle.domain, QuickSelConfig(random_seed=seed + 1))
+        _, qs_b_abs, _, qs_b_ms, qs_b_params = _train_and_measure(
+            quicksel_b, bundle, points["quicksel"]
+        )
+        accuracy_rows.extend(
+            [
+                Table3Row(
+                    dataset, "ISOMER", points["isomer_accuracy"], iso_small_params,
+                    0.0, iso_small_abs, iso_small_ms,
+                ),
+                Table3Row(
+                    dataset, "QuickSel", points["quicksel"], qs_b_params,
+                    0.0, qs_b_abs, qs_b_ms,
+                ),
+            ]
+        )
+        if iso_small_abs > 0:
+            error_reductions[dataset] = (1.0 - qs_b_abs / iso_small_abs) * 100.0
+        else:
+            error_reductions[dataset] = 0.0
+
+    return Table3Result(
+        efficiency_rows=efficiency_rows,
+        accuracy_rows=accuracy_rows,
+        speedups=speedups,
+        error_reductions_pct=error_reductions,
+    )

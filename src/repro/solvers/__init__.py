@@ -1,0 +1,41 @@
+"""Numerical solvers used by QuickSel and the baseline estimators.
+
+* :mod:`repro.solvers.analytic` — closed-form solution of Problem 3 (the
+  paper's fast path).
+* :mod:`repro.solvers.projected_gradient` — iterative QP baseline used as
+  the "Standard QP" comparator of Figure 6.
+* :mod:`repro.solvers.scipy_qp` — constrained SLSQP solve of Theorem 1
+  (correctness oracle).
+* :mod:`repro.solvers.iterative_scaling` — iterative proportional fitting
+  used by the max-entropy histogram baselines (ISOMER).
+"""
+
+from repro.solvers.analytic import AnalyticSolution, solve_penalized_qp
+from repro.solvers.iterative_scaling import (
+    IterativeScalingResult,
+    solve_iterative_scaling,
+)
+from repro.solvers.linalg import (
+    project_to_simplex_nonneg,
+    regularized_solve,
+    symmetrize,
+)
+from repro.solvers.projected_gradient import (
+    ProjectedGradientResult,
+    solve_projected_gradient,
+)
+from repro.solvers.scipy_qp import ScipyQPResult, solve_constrained_qp
+
+__all__ = [
+    "AnalyticSolution",
+    "solve_penalized_qp",
+    "ProjectedGradientResult",
+    "solve_projected_gradient",
+    "ScipyQPResult",
+    "solve_constrained_qp",
+    "IterativeScalingResult",
+    "solve_iterative_scaling",
+    "symmetrize",
+    "regularized_solve",
+    "project_to_simplex_nonneg",
+]

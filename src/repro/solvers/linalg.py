@@ -1,0 +1,63 @@
+"""Small linear-algebra helpers shared by the QP solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SolverError
+
+__all__ = ["symmetrize", "regularized_solve", "project_to_simplex_nonneg"]
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part of a square matrix.
+
+    The ``Q`` and ``AᵀA`` matrices are symmetric in exact arithmetic;
+    symmetrising removes the tiny asymmetries floating point introduces so
+    Cholesky-based solvers stay happy.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise SolverError(f"expected a square matrix; got shape {arr.shape}")
+    return 0.5 * (arr + arr.T)
+
+
+def regularized_solve(
+    matrix: np.ndarray, rhs: np.ndarray, ridge: float = 0.0
+) -> np.ndarray:
+    """Solve ``(matrix + ridge * I) x = rhs`` robustly.
+
+    Tries a Cholesky-backed solve first (the system is symmetric positive
+    semi-definite by construction); falls back to least squares when the
+    matrix is numerically singular, which can happen when subpopulations
+    coincide exactly.
+    """
+    mat = symmetrize(matrix)
+    vec = np.asarray(rhs, dtype=float)
+    if vec.shape[0] != mat.shape[0]:
+        raise SolverError(
+            f"rhs length {vec.shape[0]} does not match matrix size {mat.shape[0]}"
+        )
+    if ridge < 0:
+        raise SolverError("ridge must be non-negative")
+    if ridge > 0:
+        mat = mat + ridge * np.eye(mat.shape[0])
+    try:
+        return np.linalg.solve(mat, vec)
+    except np.linalg.LinAlgError:
+        solution, *_ = np.linalg.lstsq(mat, vec, rcond=None)
+        return solution
+
+
+def project_to_simplex_nonneg(weights: np.ndarray) -> np.ndarray:
+    """Clip to the non-negative orthant and rescale the total mass to 1.
+
+    Not a true Euclidean simplex projection -- it matches what the paper's
+    pragmatic treatment needs: negative weights are artefacts of dropping
+    the positivity constraint and should simply be removed.
+    """
+    clipped = np.clip(np.asarray(weights, dtype=float), 0.0, None)
+    total = clipped.sum()
+    if total <= 0:
+        raise SolverError("cannot renormalise a weight vector with no positive mass")
+    return clipped / total

@@ -1,0 +1,110 @@
+"""Iterative projected-gradient solver for the constrained QP of Theorem 1.
+
+This plays the role of the "Standard QP" baseline in Figure 6 of the
+paper (there solved with cvxopt): it solves
+
+``min_w  wᵀ Q w   s.t.  A w = s,  w ≥ 0``
+
+by running projected gradient descent on the penalised objective
+``wᵀQw + λ‖Aw − s‖²`` with an explicit projection onto the non-negative
+orthant after each step.  Compared to the analytic solution it does the
+same linear algebra many times over, which is exactly the gap Figure 6
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.solvers.linalg import symmetrize
+
+__all__ = ["ProjectedGradientResult", "solve_projected_gradient"]
+
+
+@dataclass(frozen=True)
+class ProjectedGradientResult:
+    """Result of the projected-gradient solve.
+
+    Attributes:
+        weights: final iterate (non-negative).
+        iterations: number of gradient steps taken.
+        converged: True if the relative change dropped below tolerance.
+        constraint_residual: ``max_i |(A w − s)_i|`` at the final iterate.
+    """
+
+    weights: np.ndarray
+    iterations: int
+    converged: bool
+    constraint_residual: float
+
+
+def solve_projected_gradient(
+    Q: np.ndarray,
+    A: np.ndarray,
+    s: np.ndarray,
+    penalty: float = 1.0e6,
+    max_iterations: int = 2000,
+    tolerance: float = 1.0e-8,
+    initial: np.ndarray | None = None,
+) -> ProjectedGradientResult:
+    """Solve the penalised QP iteratively with non-negativity projection.
+
+    The step size is set from the Lipschitz constant of the gradient
+    (twice the largest eigenvalue of ``Q + λAᵀA``), so the iteration is a
+    plain, provably-convergent projected gradient method.
+    """
+    Q = symmetrize(np.asarray(Q, dtype=float))
+    A = np.asarray(A, dtype=float)
+    s = np.asarray(s, dtype=float)
+    m = Q.shape[0]
+    if A.ndim != 2 or A.shape[1] != m:
+        raise SolverError(f"A must have shape (n, {m}); got {A.shape}")
+    if s.shape != (A.shape[0],):
+        raise SolverError(f"s must have length {A.shape[0]}; got shape {s.shape}")
+    if penalty <= 0:
+        raise SolverError("penalty must be positive")
+    if max_iterations < 1:
+        raise SolverError("max_iterations must be >= 1")
+
+    hessian = Q + penalty * (A.T @ A)
+    rhs = penalty * (A.T @ s)
+
+    # Lipschitz constant of the gradient 2 H w - 2 rhs.
+    try:
+        lipschitz = float(np.linalg.eigvalsh(hessian).max())
+    except np.linalg.LinAlgError:
+        lipschitz = float(np.abs(hessian).sum(axis=1).max())
+    if lipschitz <= 0:
+        lipschitz = 1.0
+    step = 1.0 / (2.0 * lipschitz)
+
+    if initial is None:
+        weights = np.full(m, 1.0 / m)
+    else:
+        weights = np.clip(np.asarray(initial, dtype=float).copy(), 0.0, None)
+        if weights.shape != (m,):
+            raise SolverError(f"initial must have shape ({m},)")
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        gradient = 2.0 * (hessian @ weights - rhs)
+        updated = np.clip(weights - step * gradient, 0.0, None)
+        change = np.abs(updated - weights).max()
+        scale = max(np.abs(updated).max(), 1.0)
+        weights = updated
+        if change <= tolerance * scale:
+            converged = True
+            break
+
+    residual_vector = A @ weights - s
+    residual = float(np.abs(residual_vector).max()) if residual_vector.size else 0.0
+    return ProjectedGradientResult(
+        weights=weights,
+        iterations=iteration,
+        converged=converged,
+        constraint_residual=residual,
+    )

@@ -1,0 +1,94 @@
+"""SciPy-backed solver for the constrained QP of Theorem 1.
+
+Solves
+
+``min_w  wᵀ Q w   s.t.  A w = s,  w ≥ 0``
+
+with :func:`scipy.optimize.minimize` (SLSQP).  It is the slowest of the
+three solvers but honours the constraints exactly (up to solver
+tolerance) and therefore serves both as a correctness oracle in the tests
+and as a second point on the Figure 6 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import SolverError
+from repro.solvers.linalg import symmetrize
+
+__all__ = ["ScipyQPResult", "solve_constrained_qp"]
+
+
+@dataclass(frozen=True)
+class ScipyQPResult:
+    """Result of the SciPy constrained solve.
+
+    Attributes:
+        weights: optimal weights (non-negative, ``A w ≈ s``).
+        converged: whether SLSQP reported success.
+        iterations: SLSQP iteration count.
+        constraint_residual: ``max_i |(A w − s)_i|`` at the solution.
+    """
+
+    weights: np.ndarray
+    converged: bool
+    iterations: int
+    constraint_residual: float
+
+
+def solve_constrained_qp(
+    Q: np.ndarray,
+    A: np.ndarray,
+    s: np.ndarray,
+    max_iterations: int = 500,
+    tolerance: float = 1.0e-10,
+) -> ScipyQPResult:
+    """Solve Theorem 1's QP with equality and positivity constraints."""
+    Q = symmetrize(np.asarray(Q, dtype=float))
+    A = np.asarray(A, dtype=float)
+    s = np.asarray(s, dtype=float)
+    m = Q.shape[0]
+    if A.ndim != 2 or A.shape[1] != m:
+        raise SolverError(f"A must have shape (n, {m}); got {A.shape}")
+    if s.shape != (A.shape[0],):
+        raise SolverError(f"s must have length {A.shape[0]}; got shape {s.shape}")
+
+    def objective(w: np.ndarray) -> float:
+        return float(w @ Q @ w)
+
+    def gradient(w: np.ndarray) -> np.ndarray:
+        return 2.0 * (Q @ w)
+
+    constraints = [
+        {
+            "type": "eq",
+            "fun": lambda w: A @ w - s,
+            "jac": lambda w: A,
+        }
+    ]
+    bounds = [(0.0, None)] * m
+    initial = np.full(m, max(float(s.mean()) if s.size else 1.0, 1.0e-6))
+
+    result = optimize.minimize(
+        objective,
+        initial,
+        jac=gradient,
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": max_iterations, "ftol": tolerance},
+    )
+
+    weights = np.clip(np.asarray(result.x, dtype=float), 0.0, None)
+    residual_vector = A @ weights - s
+    residual = float(np.abs(residual_vector).max()) if residual_vector.size else 0.0
+    return ScipyQPResult(
+        weights=weights,
+        converged=bool(result.success),
+        iterations=int(result.get("nit", 0)),
+        constraint_residual=residual,
+    )

@@ -1,0 +1,297 @@
+"""Query (predicate) generators for the evaluation workloads.
+
+All experiments in Section 5 train and test the estimators on streams of
+conjunctive range predicates.  This module generates those streams:
+
+* :class:`RandomRangeQueryGenerator` — random hyperrectangular predicates
+  anywhere in the domain (the Gaussian and robustness workloads, and the
+  "random shift" scenario of Figure 7b),
+* :class:`SlidingRangeQueryGenerator` — predicates whose centre slides
+  across one dimension over the query sequence (the "sliding shift"
+  scenario of Figure 7b),
+* :class:`FixedRangeQueryGenerator` — one identical predicate repeated
+  (the "no shift" scenario of Figure 7b),
+* :func:`dmv_queries` / :func:`instacart_queries` — predicate generators
+  matching the paper's description of the DMV and Instacart query
+  templates (date-range / hour-of-day range queries).
+
+Every generator yields :class:`~repro.core.predicate.BoxPredicate`
+instances, so the same stream can drive any estimator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import BoxPredicate, RangeConstraint
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "RandomRangeQueryGenerator",
+    "SlidingRangeQueryGenerator",
+    "FixedRangeQueryGenerator",
+    "dmv_queries",
+    "instacart_queries",
+    "labelled_feedback",
+    "select_with_min_selectivity",
+    "filtered_feedback",
+]
+
+
+def _box_from_bounds(bounds: np.ndarray) -> BoxPredicate:
+    """Build a BoxPredicate from a ``(d, 2)`` bounds array."""
+    constraints = [
+        RangeConstraint(dim, float(low), float(high))
+        for dim, (low, high) in enumerate(bounds)
+    ]
+    return BoxPredicate(constraints)
+
+
+class RandomRangeQueryGenerator:
+    """Random hyperrectangular range predicates over a domain.
+
+    Each predicate's centre is uniform over the domain and its width per
+    dimension is uniform in ``[min_width, max_width]`` (as fractions of
+    the domain width), then clipped to the domain.
+    """
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        min_width: float = 0.15,
+        max_width: float = 0.5,
+        dimensions: Sequence[int] | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if not (0.0 < min_width <= max_width <= 1.0):
+            raise WorkloadError("widths must satisfy 0 < min <= max <= 1")
+        self._domain = domain
+        self._min_width = min_width
+        self._max_width = max_width
+        self._dimensions = (
+            list(range(domain.dimension)) if dimensions is None else list(dimensions)
+        )
+        if any(d < 0 or d >= domain.dimension for d in self._dimensions):
+            raise WorkloadError("query dimensions must lie inside the domain")
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, count: int) -> list[BoxPredicate]:
+        """Generate ``count`` random predicates."""
+        return [self._one() for _ in range(count)]
+
+    def stream(self) -> Iterator[BoxPredicate]:
+        """An endless stream of random predicates."""
+        while True:
+            yield self._one()
+
+    def _one(self) -> BoxPredicate:
+        lower = self._domain.lower
+        widths = self._domain.widths
+        bounds = self._domain.as_array()
+        constraints = []
+        for dim in self._dimensions:
+            width = (
+                self._rng.uniform(self._min_width, self._max_width) * widths[dim]
+            )
+            center = self._rng.uniform(lower[dim], lower[dim] + widths[dim])
+            low = max(center - width / 2.0, bounds[dim, 0])
+            high = min(center + width / 2.0, bounds[dim, 1])
+            if low >= high:
+                high = min(low + 1e-9, bounds[dim, 1])
+            constraints.append(RangeConstraint(dim, low, high))
+        return BoxPredicate(constraints)
+
+
+class SlidingRangeQueryGenerator:
+    """Predicates whose centre slides across the domain over the sequence.
+
+    Query ``i`` of ``total`` has its centre at fraction ``i / total`` of
+    the way along every dimension (plus jitter), simulating the "sliding
+    shift" workload of Figure 7b.
+    """
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        total: int,
+        width: float = 0.15,
+        jitter: float = 0.05,
+        seed: int | None = 0,
+    ) -> None:
+        if total < 1:
+            raise WorkloadError("total must be >= 1")
+        if not (0.0 < width <= 1.0):
+            raise WorkloadError("width must be in (0, 1]")
+        if jitter < 0:
+            raise WorkloadError("jitter must be non-negative")
+        self._domain = domain
+        self._total = total
+        self._width = width
+        self._jitter = jitter
+        self._rng = np.random.default_rng(seed)
+        self._position = 0
+
+    def generate(self, count: int) -> list[BoxPredicate]:
+        """Generate the next ``count`` predicates along the slide."""
+        return [self._one() for _ in range(count)]
+
+    def _one(self) -> BoxPredicate:
+        fraction = min(self._position / max(self._total - 1, 1), 1.0)
+        self._position += 1
+        lower = self._domain.lower
+        widths = self._domain.widths
+        bounds = self._domain.as_array()
+        constraints = []
+        for dim in range(self._domain.dimension):
+            center = lower[dim] + fraction * widths[dim]
+            center += self._rng.uniform(-self._jitter, self._jitter) * widths[dim]
+            half = self._width * widths[dim] / 2.0
+            low = max(center - half, bounds[dim, 0])
+            high = min(center + half, bounds[dim, 1])
+            if low >= high:
+                low = bounds[dim, 0]
+                high = min(low + self._width * widths[dim], bounds[dim, 1])
+            constraints.append(RangeConstraint(dim, low, high))
+        return BoxPredicate(constraints)
+
+
+class FixedRangeQueryGenerator:
+    """The same predicate repeated (the "no shift" workload)."""
+
+    def __init__(
+        self,
+        domain: Hyperrectangle,
+        center_fraction: float = 0.5,
+        width: float = 0.2,
+    ) -> None:
+        if not (0.0 <= center_fraction <= 1.0):
+            raise WorkloadError("center_fraction must be in [0, 1]")
+        if not (0.0 < width <= 1.0):
+            raise WorkloadError("width must be in (0, 1]")
+        bounds = domain.as_array()
+        constraints = []
+        for dim in range(domain.dimension):
+            span = bounds[dim, 1] - bounds[dim, 0]
+            center = bounds[dim, 0] + center_fraction * span
+            half = width * span / 2.0
+            low = max(center - half, bounds[dim, 0])
+            high = min(center + half, bounds[dim, 1])
+            constraints.append(RangeConstraint(dim, low, high))
+        self._predicate = BoxPredicate(constraints)
+
+    def generate(self, count: int) -> list[BoxPredicate]:
+        """Return ``count`` copies of the fixed predicate."""
+        return [self._predicate for _ in range(count)]
+
+
+def dmv_queries(
+    count: int, seed: int | None = 0, domain: Hyperrectangle | None = None
+) -> list[BoxPredicate]:
+    """DMV-style queries: valid registrations for vehicles made in a date range.
+
+    Each query constrains ``model_year`` to a production window,
+    ``registration_date`` to a lower bound (registered since some year),
+    and ``expiration_date`` to an upper bound (still valid by some year) —
+    three-attribute conjunctive range predicates, as in Section 5.1.
+    """
+    from repro.workloads.dmv import DMV_SCHEMA
+
+    domain = domain or DMV_SCHEMA.domain()
+    rng = np.random.default_rng(seed)
+    predicates = []
+    for _ in range(count):
+        year_low = rng.uniform(1985.0, 2010.0)
+        year_high = year_low + rng.uniform(5.0, 20.0)
+        registered_after = rng.uniform(1992.0, 2010.0)
+        expires_before = registered_after + rng.uniform(6.0, 20.0)
+        bounds = domain.as_array()
+        bounds[0] = (year_low, min(year_high, bounds[0, 1]))
+        bounds[1] = (max(registered_after, bounds[1, 0]), bounds[1, 1])
+        bounds[2] = (bounds[2, 0], min(expires_before, bounds[2, 1]))
+        predicates.append(_box_from_bounds(bounds))
+    return predicates
+
+
+def instacart_queries(
+    count: int, seed: int | None = 0, domain: Hyperrectangle | None = None
+) -> list[BoxPredicate]:
+    """Instacart-style queries: reorder frequency for orders in an hour window.
+
+    Each query constrains ``order_hour_of_day`` to a window of a few hours
+    and ``days_since_prior`` to a range of gaps — two-attribute conjunctive
+    range predicates, as in Section 5.1.
+    """
+    from repro.workloads.instacart import INSTACART_SCHEMA
+
+    domain = domain or INSTACART_SCHEMA.domain()
+    rng = np.random.default_rng(seed)
+    predicates = []
+    for _ in range(count):
+        hour_low = rng.uniform(0.0, 16.0)
+        hour_high = hour_low + rng.uniform(4.0, 10.0)
+        gap_low = rng.uniform(0.0, 18.0)
+        gap_high = gap_low + rng.uniform(8.0, 20.0)
+        bounds = domain.as_array()
+        bounds[0] = (hour_low, min(hour_high, bounds[0, 1]))
+        bounds[1] = (gap_low, min(gap_high, bounds[1, 1]))
+        predicates.append(_box_from_bounds(bounds))
+    return predicates
+
+
+def labelled_feedback(
+    predicates: Sequence[BoxPredicate], data: np.ndarray
+) -> list[tuple[BoxPredicate, float]]:
+    """Pair each predicate with its exact selectivity over ``data``."""
+    return [(predicate, predicate.selectivity(data)) for predicate in predicates]
+
+
+def select_with_min_selectivity(
+    predicates: Sequence[BoxPredicate],
+    data: np.ndarray,
+    count: int,
+    min_selectivity: float = 0.0,
+) -> list[tuple[BoxPredicate, float]]:
+    """Label predicates and keep ``count`` of them with non-trivial selectivity.
+
+    The paper's relative-error metric divides by ``max(true, 0.001)``, so a
+    workload dominated by queries that match (almost) nothing makes every
+    estimator's error explode for reasons unrelated to model quality.  The
+    evaluation workloads therefore draw queries whose true selectivity is at
+    least ``min_selectivity`` (queries below the threshold are skipped; if
+    too few qualify, the remainder is topped up with unfiltered queries so
+    the requested count is always returned).
+    """
+    if count < 0:
+        raise WorkloadError("count must be non-negative")
+    labelled = labelled_feedback(predicates, data)
+    accepted = [pair for pair in labelled if pair[1] >= min_selectivity]
+    if len(accepted) < count:
+        rejected = [pair for pair in labelled if pair[1] < min_selectivity]
+        accepted.extend(rejected[: count - len(accepted)])
+    return accepted[:count]
+
+
+def filtered_feedback(
+    generator,
+    data: np.ndarray,
+    count: int,
+    min_selectivity: float = 0.0,
+    oversample: int = 4,
+) -> list[tuple[BoxPredicate, float]]:
+    """Draw ``count`` labelled queries from a generator, enforcing a selectivity floor.
+
+    ``generator`` is any object with a ``generate(count)`` method (the query
+    generators in this module).  The generator is asked for up to
+    ``oversample`` times the requested count before the floor is relaxed.
+    """
+    if count < 0:
+        raise WorkloadError("count must be non-negative")
+    if oversample < 1:
+        raise WorkloadError("oversample must be >= 1")
+    predicates = generator.generate(count * oversample)
+    return select_with_min_selectivity(
+        predicates, data, count, min_selectivity=min_selectivity
+    )

@@ -1,0 +1,124 @@
+"""Data-drift scenario used by the scan-based comparison (Figure 5).
+
+The paper's Figure 5 experiment starts from a Gaussian dataset with
+correlation 0 and, after every 100 processed queries, inserts a batch of
+new tuples drawn from a distribution whose correlation has increased by
+0.1 — so the joint distribution drifts while the query stream runs, which
+is what makes periodically-refreshed scan statistics stale.
+
+:class:`CorrelationDriftScenario` reproduces that schedule: it yields a
+sequence of *phases*, each consisting of a batch of rows to insert (empty
+for the first phase) followed by a block of queries to process.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import BoxPredicate
+from repro.exceptions import WorkloadError
+from repro.workloads.queries import RandomRangeQueryGenerator
+from repro.workloads.synthetic import gaussian_dataset
+
+__all__ = ["DriftPhase", "CorrelationDriftScenario"]
+
+
+@dataclass(frozen=True)
+class DriftPhase:
+    """One phase of the drift scenario.
+
+    Attributes:
+        phase_index: 0-based phase number.
+        correlation: correlation of the data inserted at the start of the
+            phase (the initial phase inserts nothing).
+        new_rows: rows inserted at the start of the phase.
+        queries: predicates processed during the phase.
+    """
+
+    phase_index: int
+    correlation: float
+    new_rows: np.ndarray
+    queries: list[BoxPredicate]
+
+
+class CorrelationDriftScenario:
+    """Gaussian data whose correlation drifts upward between query batches."""
+
+    def __init__(
+        self,
+        initial_rows: int = 100_000,
+        insert_rows: int = 20_000,
+        queries_per_phase: int = 100,
+        phases: int = 10,
+        correlation_step: float = 0.1,
+        dimension: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        if initial_rows < 1:
+            raise WorkloadError("initial_rows must be >= 1")
+        if insert_rows < 0:
+            raise WorkloadError("insert_rows must be non-negative")
+        if queries_per_phase < 1:
+            raise WorkloadError("queries_per_phase must be >= 1")
+        if phases < 1:
+            raise WorkloadError("phases must be >= 1")
+        if not (0.0 <= correlation_step <= 1.0):
+            raise WorkloadError("correlation_step must be in [0, 1]")
+        self._initial_rows = initial_rows
+        self._insert_rows = insert_rows
+        self._queries_per_phase = queries_per_phase
+        self._phases = phases
+        self._correlation_step = correlation_step
+        self._dimension = dimension
+        self._seed = seed
+        self._domain = Hyperrectangle.unit(dimension)
+
+    @property
+    def domain(self) -> Hyperrectangle:
+        """The unit-cube domain of the drifting dataset."""
+        return self._domain
+
+    @property
+    def total_queries(self) -> int:
+        """Total number of queries across all phases."""
+        return self._phases * self._queries_per_phase
+
+    def initial_data(self) -> np.ndarray:
+        """The correlation-0 rows present before any query runs."""
+        return gaussian_dataset(
+            self._initial_rows,
+            dimension=self._dimension,
+            correlation=0.0,
+            seed=self._seed,
+        ).rows
+
+    def phases(self) -> Iterator[DriftPhase]:
+        """Yield the drift phases in order."""
+        query_generator = RandomRangeQueryGenerator(
+            self._domain,
+            min_width=0.15,
+            max_width=0.5,
+            seed=None if self._seed is None else self._seed + 1,
+        )
+        for phase_index in range(self._phases):
+            correlation = min(phase_index * self._correlation_step, 0.99)
+            if phase_index == 0 or self._insert_rows == 0:
+                new_rows = np.zeros((0, self._dimension))
+            else:
+                new_rows = gaussian_dataset(
+                    self._insert_rows,
+                    dimension=self._dimension,
+                    correlation=correlation,
+                    seed=None if self._seed is None else self._seed + 100 + phase_index,
+                ).rows
+            queries = query_generator.generate(self._queries_per_phase)
+            yield DriftPhase(
+                phase_index=phase_index,
+                correlation=correlation,
+                new_rows=new_rows,
+                queries=queries,
+            )

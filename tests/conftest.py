@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import box_predicate
+from repro.workloads.synthetic import gaussian_dataset
+
+
+@pytest.fixture
+def unit_square() -> Hyperrectangle:
+    """The 2-D unit square domain."""
+    return Hyperrectangle.unit(2)
+
+
+@pytest.fixture
+def unit_cube_3d() -> Hyperrectangle:
+    """The 3-D unit cube domain."""
+    return Hyperrectangle.unit(3)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_rows() -> np.ndarray:
+    """A small correlated Gaussian dataset on the unit square."""
+    return gaussian_dataset(5000, dimension=2, correlation=0.5, seed=7).rows
+
+
+@pytest.fixture
+def random_box_queries(rng):
+    """A helper producing random box predicates over the unit square."""
+
+    def make(count: int, seed: int = 3):
+        local = np.random.default_rng(seed)
+        predicates = []
+        for _ in range(count):
+            low = local.uniform(0.0, 0.6, size=2)
+            high = low + local.uniform(0.1, 0.4, size=2)
+            high = np.minimum(high, 1.0)
+            predicates.append(
+                box_predicate([(0, low[0], high[0]), (1, low[1], high[1])])
+            )
+        return predicates
+
+    return make

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_an_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_experiments_parse(self):
+        parser = build_parser()
+        for args in (
+            ["table3", "--scale", "small"],
+            ["figure3", "--fast", "--checkpoints", "5", "10"],
+            ["figure5", "--phases", "3"],
+            ["figure6", "--queries", "10", "20"],
+            ["figure7", "--rows", "5000"],
+            ["ablations", "--which", "penalty"],
+        ):
+            namespace = parser.parse_args(args)
+            assert namespace.experiment == args[0]
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure99"])
+
+
+class TestMain:
+    def test_figure6_report(self, capsys):
+        report = main(["figure6", "--queries", "10", "20"])
+        assert "Figure 6" in report
+        assert "analytic" in report
+        captured = capsys.readouterr()
+        assert "Figure 6" in captured.out
+
+    def test_table3_report(self):
+        report = main(["table3", "--scale", "small", "--rows", "5000"])
+        assert "Table 3a" in report
+        assert "Table 3b" in report

@@ -1,0 +1,319 @@
+"""Tests for the engine substrate: schema, table, executor, catalog, feedback,
+index, optimizer, and join estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuickSelConfig
+from repro.core.quicksel import QuickSel
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.feedback import FeedbackLoop
+from repro.engine.index import SortedIndex, build_index
+from repro.engine.join import JoinSizeEstimator, exact_join_size
+from repro.engine.optimizer import AccessPathOptimizer, CostModel
+from repro.engine.query import QueryBuilder
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.table import Table
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Column("price", ColumnType.REAL, 0.0, 100.0),
+            Column("quantity", ColumnType.INTEGER, 0, 9),
+            Column("region", ColumnType.CATEGORICAL, categories=("east", "west", "north")),
+        ]
+    )
+
+
+@pytest.fixture
+def table(schema, rng):
+    table = Table("sales", schema)
+    rows = [
+        {
+            "price": float(rng.uniform(0, 100)),
+            "quantity": int(rng.integers(0, 10)),
+            "region": ("east", "west", "north")[int(rng.integers(0, 3))],
+        }
+        for _ in range(2000)
+    ]
+    table.insert(rows)
+    return table
+
+
+class TestSchema:
+    def test_domain_encoding(self, schema):
+        domain = schema.domain()
+        np.testing.assert_allclose(
+            domain.bounds, [[0, 100], [0, 10], [0, 3]]
+        )
+
+    def test_categorical_encoding(self, schema):
+        column = schema.column("region")
+        assert column.encode_value("west") == 1.0
+        with pytest.raises(SchemaError):
+            column.encode_value("south")
+
+    def test_row_encoding_and_validation(self, schema):
+        rows = schema.encode_rows(
+            [{"price": 10.0, "quantity": 3, "region": "north"}]
+        )
+        np.testing.assert_allclose(rows, [[10.0, 3.0, 2.0]])
+        with pytest.raises(SchemaError):
+            schema.encode_rows([{"price": 10.0}])
+        with pytest.raises(SchemaError):
+            schema.encode_rows(np.zeros((2, 2)))
+
+    def test_duplicate_and_unknown_columns(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a"), Column("a")])
+        with pytest.raises(SchemaError):
+            Schema([])
+        schema = Schema([Column("a")])
+        with pytest.raises(SchemaError):
+            schema.column("b")
+
+    def test_column_validation(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.REAL)
+        with pytest.raises(SchemaError):
+            Column("bad", ColumnType.REAL, 5, 1)
+        with pytest.raises(SchemaError):
+            Column("cat", ColumnType.CATEGORICAL, categories=())
+        with pytest.raises(SchemaError):
+            Column("cat", ColumnType.CATEGORICAL, categories=("a", "a"))
+
+
+class TestTable:
+    def test_insert_and_count(self, table):
+        assert table.row_count == 2000
+        assert len(table) == 2000
+
+    def test_modification_tracking(self, table):
+        assert table.modified_since_scan == 2000
+        table.mark_scanned()
+        assert table.modified_since_scan == 0
+        table.insert(np.array([[1.0, 2.0, 0.0]]))
+        assert table.modified_since_scan == 1
+
+    def test_delete_where(self, table):
+        mask = table.column_values("price") < 50
+        removed = table.delete_where(mask)
+        assert removed > 0
+        assert table.row_count == 2000 - removed
+        assert (table.column_values("price") >= 50).all()
+
+    def test_delete_mask_validation(self, table):
+        with pytest.raises(SchemaError):
+            table.delete_where(np.zeros(5, dtype=bool))
+
+    def test_truncate(self, table):
+        table.truncate()
+        assert table.row_count == 0
+
+    def test_rows_view_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.rows()[0, 0] = 1.0
+
+
+class TestQueryBuilderAndExecutor:
+    def test_range_query_selectivity(self, table):
+        builder = QueryBuilder(table.schema)
+        executor = Executor()
+        executor.register_table(table)
+        query = builder.query("sales", builder.range("price", 0, 50))
+        result = executor.execute(query)
+        assert result.row_count == 2000
+        assert result.selectivity == pytest.approx(0.5, abs=0.1)
+        assert result.matching_rows == int(result.selectivity * 2000)
+
+    def test_equality_on_categorical(self, table):
+        builder = QueryBuilder(table.schema)
+        executor = Executor()
+        executor.register_table(table)
+        query = builder.query("sales", builder.equals("region", "east"))
+        result = executor.execute(query)
+        assert result.selectivity == pytest.approx(1 / 3, abs=0.1)
+
+    def test_equality_on_integer_uses_unit_width(self, table):
+        builder = QueryBuilder(table.schema)
+        executor = Executor()
+        executor.register_table(table)
+        query = builder.query("sales", builder.equals("quantity", 3))
+        result = executor.execute(query)
+        assert result.selectivity == pytest.approx(0.1, abs=0.05)
+
+    def test_is_in_and_composition(self, table):
+        builder = QueryBuilder(table.schema)
+        executor = Executor()
+        executor.register_table(table)
+        predicate = builder.is_in("region", ["east", "west"]) & builder.at_most(
+            "price", 50
+        )
+        selectivity = executor.true_selectivity(builder.query("sales", predicate))
+        assert selectivity == pytest.approx(2 / 3 * 0.5, abs=0.1)
+
+    def test_range_on_categorical_rejected(self, table):
+        builder = QueryBuilder(table.schema)
+        with pytest.raises(Exception):
+            builder.range("region", 0, 1)
+
+    def test_unknown_table_rejected(self, table):
+        builder = QueryBuilder(table.schema)
+        executor = Executor()
+        with pytest.raises(SchemaError):
+            executor.execute(builder.query("missing", builder.select_all()))
+
+
+class TestCatalogAndFeedback:
+    def test_analyze_stores_statistics(self, table):
+        catalog = Catalog()
+        stats = catalog.analyze(table)
+        assert stats.row_count == 2000
+        assert catalog.has_statistics("sales")
+        assert catalog.statistics("sales").columns[0].name == "price"
+        assert table.modified_since_scan == 0
+
+    def test_statistics_missing_raises(self):
+        catalog = Catalog()
+        with pytest.raises(SchemaError):
+            catalog.statistics("missing")
+
+    def test_feedback_loop_trains_estimator(self, table):
+        catalog = Catalog()
+        executor = Executor()
+        executor.register_table(table)
+        loop = FeedbackLoop(executor, catalog)
+        estimator = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        loop.register_estimator("sales", estimator)
+
+        builder = QueryBuilder(table.schema)
+        for low in range(0, 90, 10):
+            executor.execute(
+                builder.query("sales", builder.range("price", low, low + 20))
+            )
+        assert estimator.observed_count == 9
+        assert catalog.feedback_count("sales") == 9
+        # The trained estimator reproduces an observed query's selectivity.
+        predicate = builder.range("price", 0, 20)
+        truth = executor.true_selectivity(builder.query("sales", predicate))
+        assert estimator.estimate(predicate) == pytest.approx(truth, abs=0.05)
+
+    def test_feedback_selectivity_validation(self):
+        catalog = Catalog()
+        from repro.core.predicate import TruePredicate
+
+        with pytest.raises(SchemaError):
+            catalog.record_feedback("t", TruePredicate(), 2.0)
+
+
+class TestIndexAndOptimizer:
+    def test_index_range_lookup_matches_scan(self, table):
+        index = build_index(table, "price")
+        rows = table.rows()
+        expected = int(((rows[:, 0] >= 10) & (rows[:, 0] <= 30)).sum())
+        assert index.count_in_range(10, 30) == expected
+        assert len(index.range_lookup(10, 30)) == expected
+
+    def test_index_staleness(self, table):
+        index = SortedIndex(table, "price")
+        assert not index.is_stale()
+        table.insert(np.array([[5.0, 1.0, 0.0]]))
+        assert index.is_stale()
+        index.rebuild()
+        assert not index.is_stale()
+
+    def test_unknown_index_column_rejected(self, table):
+        with pytest.raises(SchemaError):
+            build_index(table, "missing")
+
+    def test_optimizer_picks_index_for_selective_predicate(self, table):
+        builder = QueryBuilder(table.schema)
+        executor = Executor()
+        executor.register_table(table)
+        estimator = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        optimizer = AccessPathOptimizer(table, estimator)
+        optimizer.add_index("price")
+
+        selective = builder.range("price", 0, 1)  # ~1% of rows
+        broad = builder.range("price", 0, 99)  # ~99% of rows
+        executor.add_feedback_listener(lambda t, p, s: estimator.observe(p, s))
+        executor.execute(builder.query("sales", selective))
+        executor.execute(builder.query("sales", broad))
+
+        assert optimizer.plan(selective).access_path == "index_scan"
+        assert optimizer.plan(broad).access_path == "seq_scan"
+
+    def test_optimizer_falls_back_without_usable_index(self, table):
+        builder = QueryBuilder(table.schema)
+        estimator = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        optimizer = AccessPathOptimizer(table, estimator)
+        plan = optimizer.plan(builder.range("price", 0, 1))
+        assert plan.access_path == "seq_scan"
+        assert plan.index_column is None
+
+    def test_oracle_plan_uses_true_selectivity(self, table):
+        builder = QueryBuilder(table.schema)
+        estimator = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        optimizer = AccessPathOptimizer(table, estimator, CostModel())
+        optimizer.add_index("price")
+        plan = optimizer.plan_with_true_selectivity(builder.range("price", 0, 1), 0.01)
+        assert plan.access_path == "index_scan"
+        assert plan.estimated_selectivity == 0.01
+
+
+class TestJoinEstimation:
+    def test_exact_and_estimated_join_size_agree_for_uniform_keys(self, rng):
+        schema = Schema([Column("key", ColumnType.INTEGER, 0, 9)])
+        left = Table("left", schema)
+        right = Table("right", schema)
+        left.insert(rng.integers(0, 10, size=(1000, 1)).astype(float))
+        right.insert(rng.integers(0, 10, size=(500, 1)).astype(float))
+
+        left_est = QuickSel(left.domain(), QuickSelConfig(random_seed=0))
+        right_est = QuickSel(right.domain(), QuickSelConfig(random_seed=0))
+        estimator = JoinSizeEstimator(left, right, left_est, right_est)
+        estimate = estimator.estimate("key", "key")
+        exact = exact_join_size(left, right, "key", "key")
+        # Uniform keys: estimate should be within ~20% of the exact size.
+        assert estimate.estimated_rows == pytest.approx(exact, rel=0.2)
+
+    def test_join_with_predicates(self, rng):
+        schema = Schema(
+            [Column("key", ColumnType.INTEGER, 0, 9), Column("v", ColumnType.REAL, 0, 1)]
+        )
+        left = Table("left", schema)
+        right = Table("right", schema)
+        keys = rng.integers(0, 10, size=(800, 1)).astype(float)
+        values = rng.uniform(size=(800, 1))
+        left.insert(np.hstack([keys, values]))
+        right.insert(np.hstack([keys, values]))
+
+        builder = QueryBuilder(schema)
+        predicate = builder.at_most("v", 0.5)
+        left_est = QuickSel(left.domain(), QuickSelConfig(random_seed=0))
+        right_est = QuickSel(right.domain(), QuickSelConfig(random_seed=0))
+        left_est.observe(predicate, 0.5)
+        right_est.observe(predicate, 0.5)
+        estimator = JoinSizeEstimator(left, right, left_est, right_est)
+        estimate = estimator.estimate("key", "key", predicate, predicate)
+        exact = exact_join_size(left, right, "key", "key", predicate, predicate)
+        assert estimate.estimated_rows == pytest.approx(exact, rel=0.5)
+
+    def test_unknown_join_key_rejected(self, rng):
+        schema = Schema([Column("key", ColumnType.INTEGER, 0, 9)])
+        left = Table("left", schema)
+        right = Table("right", schema)
+        estimator = JoinSizeEstimator(
+            left,
+            right,
+            QuickSel(left.domain()),
+            QuickSel(right.domain()),
+        )
+        with pytest.raises(SchemaError):
+            estimator.estimate("missing", "key")

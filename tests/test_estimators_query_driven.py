@@ -1,0 +1,225 @@
+"""Tests for the query-driven baseline estimators (STHoles, ISOMER, ISOMER+QP, QueryModel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import box_predicate
+from repro.estimators.base import as_region
+from repro.estimators.buckets import BucketSet, drill
+from repro.estimators.isomer import Isomer
+from repro.estimators.isomer_qp import IsomerQP
+from repro.estimators.query_model import QueryModel
+from repro.estimators.stholes import STHoles
+from repro.exceptions import EstimatorError
+
+
+QUERY_DRIVEN_CLASSES = [STHoles, Isomer, IsomerQP, QueryModel]
+
+
+class TestBucketMachinery:
+    def test_initial_bucket_covers_domain(self, unit_square):
+        buckets = BucketSet.initial(unit_square)
+        assert len(buckets) == 1
+        assert buckets.total_mass == pytest.approx(1.0)
+        assert buckets.estimate_box(unit_square) == pytest.approx(1.0)
+
+    def test_drill_preserves_total_mass(self, unit_square):
+        buckets = BucketSet.initial(unit_square)
+        target = Hyperrectangle([[0.2, 0.6], [0.2, 0.6]])
+        inside = drill(buckets, [target])
+        assert buckets.total_mass == pytest.approx(1.0)
+        assert len(inside) >= 1
+        # Buckets marked inside are fully covered by the target.
+        for index in inside:
+            bucket = buckets.buckets[index]
+            assert target.contains_box(bucket.box)
+
+    def test_drill_makes_membership_binary(self, unit_square):
+        buckets = BucketSet.initial(unit_square)
+        boxes = [
+            Hyperrectangle([[0.1, 0.5], [0.1, 0.5]]),
+            Hyperrectangle([[0.3, 0.8], [0.3, 0.8]]),
+        ]
+        regions = []
+        for box in boxes:
+            drill(buckets, [box])
+            regions.append(as_region(box, unit_square))
+        membership = buckets.membership_matrix(regions)
+        # Every bucket is (almost) fully inside or outside every predicate.
+        volumes = buckets.volumes
+        for row, region in zip(membership, regions):
+            overlaps = region.intersection_volumes(buckets.boxes)
+            fractions = overlaps / volumes
+            for value, fraction in zip(row, fractions):
+                assert fraction == pytest.approx(value, abs=1e-6)
+
+    def test_estimate_region_sums_disjoint_pieces(self, unit_square):
+        buckets = BucketSet.initial(unit_square)
+        from repro.core.region import Region
+
+        region = Region.from_boxes(
+            [
+                Hyperrectangle([[0, 0.25], [0, 1]]),
+                Hyperrectangle([[0.75, 1], [0, 1]]),
+            ]
+        )
+        assert buckets.estimate_region(region) == pytest.approx(0.5)
+
+    def test_set_frequencies_validates_length(self, unit_square):
+        buckets = BucketSet.initial(unit_square)
+        with pytest.raises(EstimatorError):
+            buckets.set_frequencies([0.5, 0.5])
+
+
+@pytest.mark.parametrize("estimator_class", QUERY_DRIVEN_CLASSES)
+class TestQueryDrivenCommonBehaviour:
+    def test_initial_estimate_reasonable(self, estimator_class, unit_square):
+        estimator = estimator_class(unit_square)
+        predicate = box_predicate([(0, 0, 0.5), (1, 0, 0.5)])
+        estimate = estimator.estimate(predicate)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_selectivity_validation(self, estimator_class, unit_square):
+        estimator = estimator_class(unit_square)
+        with pytest.raises(EstimatorError):
+            estimator.observe(box_predicate([(0, 0, 1)]), 1.5)
+
+    def test_estimates_stay_in_unit_interval(
+        self, estimator_class, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = estimator_class(unit_square)
+        for predicate in random_box_queries(15):
+            estimator.observe(predicate, predicate.selectivity(gaussian_rows))
+        for predicate in random_box_queries(15, seed=77):
+            assert 0.0 <= estimator.estimate(predicate) <= 1.0
+
+    def test_learning_reduces_error_vs_uniform_prior(
+        self, estimator_class, unit_square, gaussian_rows, random_box_queries
+    ):
+        test_predicates = random_box_queries(30, seed=31)
+        truths = np.array([p.selectivity(gaussian_rows) for p in test_predicates])
+        uniform = np.array([p.to_region(unit_square).volume for p in test_predicates])
+        estimator = estimator_class(unit_square)
+        for predicate in random_box_queries(40, seed=13):
+            estimator.observe(predicate, predicate.selectivity(gaussian_rows))
+        estimates = np.array([estimator.estimate(p) for p in test_predicates])
+        assert np.abs(estimates - truths).mean() < np.abs(uniform - truths).mean()
+
+    def test_parameter_count_positive_after_training(
+        self, estimator_class, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = estimator_class(unit_square)
+        for predicate in random_box_queries(5):
+            estimator.observe(predicate, predicate.selectivity(gaussian_rows))
+        assert estimator.parameter_count >= 1
+        assert estimator.observed_count == 5
+
+
+class TestSTHolesSpecifics:
+    def test_bucket_budget_enforced(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = STHoles(unit_square, max_buckets=20)
+        for predicate in random_box_queries(30):
+            estimator.observe(predicate, predicate.selectivity(gaussian_rows))
+        assert estimator.bucket_count <= 20
+
+    def test_mass_conserved_after_merging(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = STHoles(unit_square, max_buckets=15)
+        for predicate in random_box_queries(25):
+            estimator.observe(predicate, predicate.selectivity(gaussian_rows))
+        total = estimator._buckets.total_mass
+        assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_budget(self, unit_square):
+        with pytest.raises(EstimatorError):
+            STHoles(unit_square, max_buckets=0)
+
+    def test_observed_query_estimate_matches_feedback(self, unit_square, gaussian_rows):
+        estimator = STHoles(unit_square)
+        predicate = box_predicate([(0, 0.2, 0.6), (1, 0.2, 0.6)])
+        truth = predicate.selectivity(gaussian_rows)
+        estimator.observe(predicate, truth)
+        assert estimator.estimate(predicate) == pytest.approx(truth, abs=0.02)
+
+
+class TestIsomerSpecifics:
+    def test_bucket_count_grows_with_queries(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = Isomer(unit_square)
+        counts = []
+        for predicate in random_box_queries(12):
+            estimator.observe(predicate, predicate.selectivity(gaussian_rows))
+            counts.append(estimator.bucket_count)
+        assert counts[-1] > counts[0]
+        assert counts == sorted(counts)
+
+    def test_consistency_with_all_observed_queries(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = Isomer(unit_square)
+        feedback = [
+            (p, p.selectivity(gaussian_rows)) for p in random_box_queries(10)
+        ]
+        for predicate, truth in feedback:
+            estimator.observe(predicate, truth)
+        for predicate, truth in feedback:
+            assert estimator.estimate(predicate) == pytest.approx(truth, abs=0.03)
+
+    def test_query_pruning_limits_constraints(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = Isomer(unit_square, max_queries=5)
+        for predicate in random_box_queries(12):
+            estimator.observe(predicate, predicate.selectivity(gaussian_rows))
+        assert len(estimator._active_queries()) == 5
+
+    def test_bucket_budget_stops_drilling(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = Isomer(unit_square, max_buckets=10)
+        for predicate in random_box_queries(20):
+            estimator.observe(predicate, predicate.selectivity(gaussian_rows))
+        assert estimator.bucket_count <= 10 + 8  # one final drill may overshoot slightly
+
+    def test_invalid_parameters(self, unit_square):
+        with pytest.raises(EstimatorError):
+            Isomer(unit_square, max_queries=0)
+        with pytest.raises(EstimatorError):
+            Isomer(unit_square, max_buckets=0)
+
+
+class TestIsomerQPSpecifics:
+    def test_consistency_with_observed_queries(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = IsomerQP(unit_square)
+        feedback = [
+            (p, p.selectivity(gaussian_rows)) for p in random_box_queries(10)
+        ]
+        for predicate, truth in feedback:
+            estimator.observe(predicate, truth)
+        for predicate, truth in feedback:
+            assert estimator.estimate(predicate) == pytest.approx(truth, abs=0.05)
+
+    def test_invalid_penalty(self, unit_square):
+        with pytest.raises(EstimatorError):
+            IsomerQP(unit_square, penalty=0)
+
+
+class TestQueryModelSpecifics:
+    def test_falls_back_to_volume_prior(self, unit_square):
+        estimator = QueryModel(unit_square)
+        predicate = box_predicate([(0, 0, 0.5), (1, 0, 0.5)])
+        assert estimator.estimate(predicate) == pytest.approx(0.25)
+
+    def test_repeated_query_is_remembered(self, unit_square, gaussian_rows):
+        estimator = QueryModel(unit_square)
+        predicate = box_predicate([(0, 0.2, 0.7), (1, 0.2, 0.7)])
+        truth = predicate.selectivity(gaussian_rows)
+        estimator.observe(predicate, truth)
+        assert estimator.estimate(predicate) == pytest.approx(truth, abs=0.02)
+
+    def test_invalid_parameters(self, unit_square):
+        with pytest.raises(EstimatorError):
+            QueryModel(unit_square, bandwidth=0)
+        with pytest.raises(EstimatorError):
+            QueryModel(unit_square, overlap_weight=-1)

@@ -1,0 +1,175 @@
+"""Tests for the scan-based estimators (AutoHist, AutoSample, KDE) and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import box_predicate
+from repro.estimators.auto_hist import AutoHist
+from repro.estimators.auto_sample import AutoSample
+from repro.estimators.kde import KDEEstimator
+from repro.estimators.registry import (
+    QUERY_DRIVEN_ESTIMATORS,
+    SCAN_BASED_ESTIMATORS,
+    make_query_driven,
+    make_scan_based,
+)
+from repro.exceptions import EstimatorError
+
+
+@pytest.fixture
+def data_state(gaussian_rows):
+    """Mutable data holder mimicking a growing table."""
+    return {"rows": gaussian_rows}
+
+
+@pytest.fixture
+def source(data_state):
+    return lambda: data_state["rows"]
+
+
+class TestAutoHist:
+    def test_requires_refresh_before_estimating(self, unit_square, source):
+        estimator = AutoHist(unit_square, source, bucket_budget=100)
+        with pytest.raises(EstimatorError):
+            estimator.estimate(box_predicate([(0, 0, 1)]))
+
+    def test_bins_per_dimension_from_budget(self, unit_square, source):
+        estimator = AutoHist(unit_square, source, bucket_budget=100)
+        assert estimator.bins_per_dimension == 10
+        assert estimator.parameter_count == 100
+
+    def test_whole_domain_estimates_one(self, unit_square, source):
+        estimator = AutoHist(unit_square, source, bucket_budget=64)
+        estimator.refresh()
+        assert estimator.estimate(box_predicate([(0, 0, 1), (1, 0, 1)])) == pytest.approx(1.0)
+
+    def test_accuracy_on_gaussian_data(self, unit_square, source, gaussian_rows, random_box_queries):
+        estimator = AutoHist(unit_square, source, bucket_budget=400)
+        estimator.refresh()
+        errors = [
+            abs(estimator.estimate(p) - p.selectivity(gaussian_rows))
+            for p in random_box_queries(25)
+        ]
+        assert float(np.mean(errors)) < 0.02
+
+    def test_automatic_update_threshold(self, unit_square, data_state, source):
+        estimator = AutoHist(unit_square, source, bucket_budget=100, update_threshold=0.2)
+        estimator.refresh()
+        initial_refreshes = estimator.refresh_count
+        rows = data_state["rows"]
+        # A small modification does not trigger a rebuild.
+        assert not estimator.notify_modified(int(0.1 * rows.shape[0]))
+        assert estimator.refresh_count == initial_refreshes
+        # Exceeding 20% does.
+        assert estimator.notify_modified(int(0.2 * rows.shape[0]))
+        assert estimator.refresh_count == initial_refreshes + 1
+
+    def test_rebuild_reflects_new_data(self, unit_square, data_state, source):
+        estimator = AutoHist(unit_square, source, bucket_budget=100)
+        estimator.refresh()
+        corner = box_predicate([(0, 0.9, 1.0), (1, 0.9, 1.0)])
+        before = estimator.estimate(corner)
+        # Move all data into the top-right corner and force a refresh.
+        data_state["rows"] = np.full((5000, 2), 0.95)
+        estimator.refresh()
+        after = estimator.estimate(corner)
+        assert after > before
+        assert after == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_parameters(self, unit_square, source):
+        with pytest.raises(EstimatorError):
+            AutoHist(unit_square, source, bucket_budget=0)
+        with pytest.raises(EstimatorError):
+            AutoHist(unit_square, source, bucket_budget=10, update_threshold=0.0)
+
+    def test_bad_data_source_shape_rejected(self, unit_square):
+        estimator = AutoHist(unit_square, lambda: np.zeros((10, 3)), bucket_budget=10)
+        with pytest.raises(EstimatorError):
+            estimator.refresh()
+
+
+class TestAutoSample:
+    def test_requires_refresh(self, unit_square, source):
+        estimator = AutoSample(unit_square, source, sample_size=50)
+        with pytest.raises(EstimatorError):
+            estimator.estimate(box_predicate([(0, 0, 1)]))
+
+    def test_sample_size_respected(self, unit_square, source):
+        estimator = AutoSample(unit_square, source, sample_size=64)
+        estimator.refresh()
+        assert estimator.parameter_count == 64
+
+    def test_small_table_uses_all_rows(self, unit_square):
+        rows = np.random.default_rng(0).uniform(size=(20, 2))
+        estimator = AutoSample(unit_square, lambda: rows, sample_size=100)
+        estimator.refresh()
+        assert estimator.parameter_count == 20
+
+    def test_accuracy_on_gaussian_data(self, unit_square, source, gaussian_rows, random_box_queries):
+        estimator = AutoSample(unit_square, source, sample_size=1000)
+        estimator.refresh()
+        errors = [
+            abs(estimator.estimate(p) - p.selectivity(gaussian_rows))
+            for p in random_box_queries(25)
+        ]
+        assert float(np.mean(errors)) < 0.03
+
+    def test_update_threshold_ten_percent(self, unit_square, data_state, source):
+        estimator = AutoSample(unit_square, source, sample_size=50, update_threshold=0.1)
+        estimator.refresh()
+        rows = data_state["rows"].shape[0]
+        assert not estimator.notify_modified(int(0.05 * rows))
+        assert estimator.notify_modified(int(0.1 * rows))
+
+    def test_invalid_sample_size(self, unit_square, source):
+        with pytest.raises(EstimatorError):
+            AutoSample(unit_square, source, sample_size=0)
+
+
+class TestKDE:
+    def test_accuracy_on_gaussian_data(self, unit_square, source, gaussian_rows, random_box_queries):
+        estimator = KDEEstimator(unit_square, source, sample_size=500)
+        estimator.refresh()
+        errors = [
+            abs(estimator.estimate(p) - p.selectivity(gaussian_rows))
+            for p in random_box_queries(25)
+        ]
+        assert float(np.mean(errors)) < 0.03
+
+    def test_estimates_in_unit_interval(self, unit_square, source, random_box_queries):
+        estimator = KDEEstimator(unit_square, source, sample_size=200)
+        estimator.refresh()
+        for predicate in random_box_queries(20):
+            assert 0.0 <= estimator.estimate(predicate) <= 1.0
+
+    def test_requires_refresh(self, unit_square, source):
+        estimator = KDEEstimator(unit_square, source)
+        with pytest.raises(EstimatorError):
+            estimator.estimate(box_predicate([(0, 0, 1)]))
+
+    def test_invalid_parameters(self, unit_square, source):
+        with pytest.raises(EstimatorError):
+            KDEEstimator(unit_square, source, sample_size=1)
+        with pytest.raises(EstimatorError):
+            KDEEstimator(unit_square, source, bandwidth_scale=0)
+
+
+class TestRegistry:
+    def test_all_query_driven_names_construct(self, unit_square):
+        for name in QUERY_DRIVEN_ESTIMATORS:
+            estimator = make_query_driven(name, unit_square)
+            assert estimator is not None
+
+    def test_all_scan_based_names_construct(self, unit_square, source):
+        for name in SCAN_BASED_ESTIMATORS:
+            estimator = make_scan_based(name, unit_square, source)
+            assert estimator is not None
+
+    def test_unknown_names_rejected(self, unit_square, source):
+        with pytest.raises(EstimatorError):
+            make_query_driven("nope", unit_square)
+        with pytest.raises(EstimatorError):
+            make_scan_based("nope", unit_square, source)

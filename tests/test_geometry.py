@@ -1,0 +1,234 @@
+"""Unit tests for intervals and hyperrectangles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import (
+    Hyperrectangle,
+    Interval,
+    cross_intersection_volumes,
+    intersection_volume,
+    pairwise_intersection_volumes,
+)
+from repro.exceptions import GeometryError
+
+
+class TestInterval:
+    def test_length_and_center(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.length == 2.0
+        assert interval.center == 2.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(float("nan"), 1.0)
+
+    def test_contains(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.contains(0.0)
+        assert interval.contains(1.0)
+        assert not interval.contains(1.0001)
+
+    def test_intersection(self):
+        assert Interval(0, 2).intersection(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_intersects_touching(self):
+        assert Interval(0, 1).intersects(Interval(1, 2))
+
+    def test_union_bounds(self):
+        assert Interval(0, 1).union_bounds(Interval(2, 3)) == Interval(0, 3)
+
+    def test_clip_disjoint_raises(self):
+        with pytest.raises(GeometryError):
+            Interval(0, 1).clip(Interval(2, 3))
+
+    def test_equality_and_hash(self):
+        assert Interval(0, 1) == Interval(0, 1)
+        assert hash(Interval(0, 1)) == hash(Interval(0, 1))
+        assert Interval(0, 1) != Interval(0, 2)
+
+
+class TestHyperrectangleConstruction:
+    def test_basic_properties(self):
+        box = Hyperrectangle([[0, 2], [1, 4]])
+        assert box.dimension == 2
+        assert box.volume == pytest.approx(6.0)
+        np.testing.assert_allclose(box.widths, [2, 3])
+        np.testing.assert_allclose(box.center, [1.0, 2.5])
+
+    def test_from_corners(self):
+        box = Hyperrectangle.from_corners([0, 0], [1, 2])
+        assert box.volume == 2.0
+
+    def test_from_intervals(self):
+        box = Hyperrectangle.from_intervals([Interval(0, 1), Interval(0, 3)])
+        assert box.volume == 3.0
+
+    def test_unit(self):
+        assert Hyperrectangle.unit(4).volume == 1.0
+        with pytest.raises(GeometryError):
+            Hyperrectangle.unit(0)
+
+    def test_centered_with_clip(self):
+        domain = Hyperrectangle.unit(2)
+        box = Hyperrectangle.centered([0.0, 0.0], 0.5, clip_to=domain)
+        np.testing.assert_allclose(box.bounds, [[0, 0.25], [0, 0.25]])
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrectangle([[0, 1, 2]])
+
+    def test_low_above_high_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrectangle([[1, 0]])
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrectangle(np.zeros((0, 2)))
+
+    def test_bounds_are_read_only(self):
+        box = Hyperrectangle.unit(2)
+        with pytest.raises(ValueError):
+            box.bounds[0, 0] = 5.0
+
+
+class TestHyperrectangleGeometry:
+    def test_contains_point(self):
+        box = Hyperrectangle([[0, 1], [0, 1]])
+        assert box.contains_point([0.5, 0.5])
+        assert box.contains_point([0.0, 1.0])
+        assert not box.contains_point([1.5, 0.5])
+
+    def test_contains_points_vectorised(self):
+        box = Hyperrectangle([[0, 1], [0, 1]])
+        points = np.array([[0.5, 0.5], [2.0, 0.5], [1.0, 1.0]])
+        np.testing.assert_array_equal(
+            box.contains_points(points), [True, False, True]
+        )
+
+    def test_contains_box(self):
+        outer = Hyperrectangle([[0, 2], [0, 2]])
+        inner = Hyperrectangle([[0.5, 1], [0.5, 1]])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_intersection(self):
+        a = Hyperrectangle([[0, 2], [0, 2]])
+        b = Hyperrectangle([[1, 3], [1, 3]])
+        overlap = a.intersection(b)
+        assert overlap is not None
+        np.testing.assert_allclose(overlap.bounds, [[1, 2], [1, 2]])
+        assert a.intersection_volume(b) == pytest.approx(1.0)
+
+    def test_disjoint_intersection(self):
+        a = Hyperrectangle([[0, 1], [0, 1]])
+        b = Hyperrectangle([[2, 3], [2, 3]])
+        assert a.intersection(b) is None
+        assert a.intersection_volume(b) == 0.0
+        assert intersection_volume(a, b) == 0.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            Hyperrectangle.unit(2).intersection(Hyperrectangle.unit(3))
+
+    def test_overlap_fraction(self):
+        a = Hyperrectangle([[0, 2], [0, 2]])
+        b = Hyperrectangle([[1, 2], [0, 2]])
+        assert b.overlap_fraction(a) == pytest.approx(1.0)
+        assert a.overlap_fraction(b) == pytest.approx(0.5)
+
+    def test_overlap_fraction_degenerate(self):
+        point = Hyperrectangle([[1, 1], [1, 1]])
+        box = Hyperrectangle([[0, 2], [0, 2]])
+        assert point.overlap_fraction(box) == 1.0
+        outside = Hyperrectangle([[3, 3], [3, 3]])
+        assert outside.overlap_fraction(box) == 0.0
+
+    def test_union_bounds(self):
+        a = Hyperrectangle([[0, 1], [0, 1]])
+        b = Hyperrectangle([[2, 3], [0.5, 2]])
+        merged = a.union_bounds(b)
+        np.testing.assert_allclose(merged.bounds, [[0, 3], [0, 2]])
+
+    def test_expand(self):
+        box = Hyperrectangle([[0, 2], [0, 2]])
+        bigger = box.expand(2.0)
+        np.testing.assert_allclose(bigger.bounds, [[-1, 3], [-1, 3]])
+        with pytest.raises(GeometryError):
+            box.expand(-1.0)
+
+    def test_split(self):
+        box = Hyperrectangle([[0, 2], [0, 2]])
+        lower, upper = box.split(0, 0.5)
+        assert lower.volume + upper.volume == pytest.approx(box.volume)
+        with pytest.raises(GeometryError):
+            box.split(0, 2.5)
+
+    def test_subtract_partial_overlap(self):
+        box = Hyperrectangle([[0, 2], [0, 2]])
+        hole = Hyperrectangle([[0.5, 1.5], [0.5, 1.5]])
+        pieces = box.subtract(hole)
+        total = sum(piece.volume for piece in pieces)
+        assert total == pytest.approx(box.volume - hole.volume)
+        for piece in pieces:
+            assert piece.intersection_volume(hole) == pytest.approx(0.0)
+
+    def test_subtract_disjoint_returns_self(self):
+        box = Hyperrectangle([[0, 1], [0, 1]])
+        other = Hyperrectangle([[2, 3], [2, 3]])
+        assert box.subtract(other) == [box]
+
+    def test_subtract_fully_covered_returns_empty(self):
+        box = Hyperrectangle([[0, 1], [0, 1]])
+        cover = Hyperrectangle([[-1, 2], [-1, 2]])
+        assert box.subtract(cover) == []
+
+    def test_sample_points_inside(self, rng):
+        box = Hyperrectangle([[1, 2], [3, 5]])
+        points = box.sample_points(200, rng)
+        assert points.shape == (200, 2)
+        assert box.contains_points(points).all()
+
+    def test_equality_and_hash(self):
+        a = Hyperrectangle([[0, 1], [0, 1]])
+        b = Hyperrectangle([[0, 1], [0, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestVectorisedKernels:
+    def test_pairwise_matches_scalar(self, rng):
+        boxes = [
+            Hyperrectangle(np.sort(rng.uniform(0, 1, size=(2, 2)), axis=1))
+            for _ in range(6)
+        ]
+        matrix = pairwise_intersection_volumes(boxes)
+        for i, a in enumerate(boxes):
+            for j, b in enumerate(boxes):
+                assert matrix[i, j] == pytest.approx(a.intersection_volume(b))
+
+    def test_cross_matches_scalar(self, rng):
+        rows = [
+            Hyperrectangle(np.sort(rng.uniform(0, 1, size=(2, 2)), axis=1))
+            for _ in range(4)
+        ]
+        cols = [
+            Hyperrectangle(np.sort(rng.uniform(0, 1, size=(2, 2)), axis=1))
+            for _ in range(5)
+        ]
+        matrix = cross_intersection_volumes(rows, cols)
+        assert matrix.shape == (4, 5)
+        for i, a in enumerate(rows):
+            for j, b in enumerate(cols):
+                assert matrix[i, j] == pytest.approx(a.intersection_volume(b))
+
+    def test_empty_inputs(self):
+        assert pairwise_intersection_volumes([]).shape == (0, 0)
+        assert cross_intersection_volumes([], []).shape == (0, 0)

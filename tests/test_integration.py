@@ -1,0 +1,126 @@
+"""End-to-end integration tests tying the engine, estimators, and workloads together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuickSelConfig
+from repro.core.quicksel import QuickSel
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.feedback import FeedbackLoop
+from repro.engine.optimizer import AccessPathOptimizer
+from repro.engine.query import QueryBuilder
+from repro.estimators.auto_hist import AutoHist
+from repro.experiments.metrics import mean_absolute_error
+from repro.workloads.dmv import dmv_table
+from repro.workloads.instacart import instacart_table
+from repro.workloads.queries import dmv_queries, instacart_queries
+
+
+class TestSelectivityLearningLoop:
+    """The paper's end-to-end story: run queries, learn, estimate better."""
+
+    @pytest.mark.parametrize(
+        "make_table, make_queries",
+        [
+            (dmv_table, dmv_queries),
+            (instacart_table, instacart_queries),
+        ],
+        ids=["dmv", "instacart"],
+    )
+    def test_feedback_loop_improves_estimates_on_real_world_standins(
+        self, make_table, make_queries
+    ):
+        table = make_table(20_000, seed=1)
+        executor = Executor()
+        executor.register_table(table)
+        catalog = Catalog()
+        loop = FeedbackLoop(executor, catalog)
+        estimator = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        loop.register_estimator(table.name, estimator)
+        builder = QueryBuilder(table.schema)
+
+        train_predicates = make_queries(60, seed=2)
+        test_predicates = make_queries(30, seed=3)
+        truths = np.array(
+            [
+                executor.true_selectivity(builder.query(table.name, predicate))
+                for predicate in test_predicates
+            ]
+        )
+
+        # Estimates before any query has been executed (uniform prior).
+        before = np.array([estimator.estimate(p) for p in test_predicates])
+
+        # Execute the training workload; the feedback loop trains QuickSel.
+        for predicate in train_predicates:
+            executor.execute(builder.query(table.name, predicate))
+        estimator.refit()
+
+        after = np.array([estimator.estimate(p) for p in test_predicates])
+        assert mean_absolute_error(truths, after) < mean_absolute_error(truths, before)
+        assert catalog.feedback_count(table.name) == 60
+
+    def test_learned_estimates_improve_plan_choices(self):
+        """Better selectivity estimates translate into more oracle-matching plans."""
+        table = dmv_table(20_000, seed=1)
+        executor = Executor()
+        executor.register_table(table)
+        builder = QueryBuilder(table.schema)
+        estimator = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        optimizer = AccessPathOptimizer(table, estimator)
+        optimizer.add_index("model_year")
+
+        predicates = dmv_queries(40, seed=5)
+        truths = [
+            executor.true_selectivity(builder.query(table.name, predicate))
+            for predicate in predicates
+        ]
+
+        def oracle_agreement():
+            agree = 0
+            for predicate, truth in zip(predicates, truths):
+                chosen = optimizer.plan(predicate)
+                oracle = optimizer.plan_with_true_selectivity(predicate, truth)
+                agree += chosen.access_path == oracle.access_path
+            return agree / len(predicates)
+
+        untrained = oracle_agreement()
+        for predicate, truth in zip(predicates, truths):
+            estimator.observe(predicate, truth)
+        estimator.refit()
+        trained = oracle_agreement()
+        assert trained >= untrained
+
+    def test_scan_based_and_query_driven_coexist(self):
+        """AutoHist tracks table changes while QuickSel learns from queries."""
+        table = instacart_table(10_000, seed=1)
+        executor = Executor()
+        executor.register_table(table)
+        catalog = Catalog()
+        loop = FeedbackLoop(executor, catalog)
+        builder = QueryBuilder(table.schema)
+
+        quicksel = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        loop.register_estimator(table.name, quicksel)
+        auto_hist = AutoHist(table.domain(), lambda: table.rows(), bucket_budget=100)
+        auto_hist.refresh()
+
+        predicates = instacart_queries(30, seed=2)
+        for predicate in predicates:
+            executor.execute(builder.query(table.name, predicate))
+        quicksel.refit()
+
+        # Insert enough new rows to trigger AutoHist's automatic refresh.
+        new_rows = instacart_table(3_000, seed=9).rows()
+        table.insert(np.asarray(new_rows))
+        refreshed = auto_hist.notify_modified(3_000)
+        assert refreshed
+        assert auto_hist.refresh_count == 2
+
+        # Both estimators still produce valid probabilities afterwards.
+        probe = predicates[0]
+        assert 0.0 <= quicksel.estimate(probe) <= 1.0
+        assert 0.0 <= auto_hist.estimate(probe) <= 1.0

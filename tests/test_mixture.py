@@ -1,0 +1,125 @@
+"""Unit tests for the uniform mixture model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.mixture import UniformMixtureModel
+from repro.core.region import Region
+from repro.core.subpopulation import Subpopulation
+from repro.exceptions import TrainingError
+
+
+def sub(bounds):
+    box = Hyperrectangle(bounds)
+    return Subpopulation(box=box, center=box.center)
+
+
+@pytest.fixture
+def two_component_model():
+    # Two unit-area boxes side by side with weights 0.25 / 0.75.
+    return UniformMixtureModel(
+        [sub([[0, 1], [0, 1]]), sub([[1, 2], [0, 1]])], [0.25, 0.75]
+    )
+
+
+class TestConstruction:
+    def test_requires_components(self):
+        with pytest.raises(TrainingError):
+            UniformMixtureModel([], [])
+
+    def test_weight_length_must_match(self):
+        with pytest.raises(TrainingError):
+            UniformMixtureModel([sub([[0, 1], [0, 1]])], [0.5, 0.5])
+
+    def test_nan_weights_rejected(self):
+        with pytest.raises(TrainingError):
+            UniformMixtureModel([sub([[0, 1], [0, 1]])], [float("nan")])
+
+    def test_zero_volume_component_rejected(self):
+        with pytest.raises(TrainingError):
+            UniformMixtureModel([sub([[0, 0], [0, 1]])], [1.0])
+
+    def test_basic_properties(self, two_component_model):
+        assert two_component_model.size == 2
+        assert two_component_model.parameter_count == 2
+        assert two_component_model.dimension == 2
+        assert two_component_model.total_mass == pytest.approx(1.0)
+
+
+class TestDensityAndEstimation:
+    def test_density_values(self, two_component_model):
+        values = two_component_model.density(
+            np.array([[0.5, 0.5], [1.5, 0.5], [2.5, 0.5]])
+        )
+        np.testing.assert_allclose(values, [0.25, 0.75, 0.0])
+
+    def test_density_integrates_to_mass(self, two_component_model):
+        # Integral over each unit box equals its weight.
+        assert two_component_model.selectivity_of_box(
+            Hyperrectangle([[0, 1], [0, 1]])
+        ) == pytest.approx(0.25)
+        assert two_component_model.selectivity_of_box(
+            Hyperrectangle([[0, 2], [0, 1]])
+        ) == pytest.approx(1.0)
+
+    def test_partial_overlap(self, two_component_model):
+        estimate = two_component_model.selectivity_of_box(
+            Hyperrectangle([[0.5, 1.5], [0, 1]])
+        )
+        assert estimate == pytest.approx(0.25 * 0.5 + 0.75 * 0.5)
+
+    def test_region_estimation(self, two_component_model):
+        region = Region.from_boxes(
+            [Hyperrectangle([[0, 0.5], [0, 1]]), Hyperrectangle([[1.5, 2], [0, 1]])]
+        )
+        assert two_component_model.selectivity_of_region(region) == pytest.approx(
+            0.25 * 0.5 + 0.75 * 0.5
+        )
+
+    def test_estimate_clips_to_unit_interval(self):
+        model = UniformMixtureModel(
+            [sub([[0, 1], [0, 1]])], [1.5]
+        )
+        assert model.estimate(Hyperrectangle([[0, 1], [0, 1]])) == 1.0
+        negative = UniformMixtureModel([sub([[0, 1], [0, 1]])], [-0.5])
+        assert negative.estimate(Hyperrectangle([[0, 1], [0, 1]])) == 0.0
+
+    def test_estimate_empty_region_is_zero(self, two_component_model):
+        assert two_component_model.estimate(Region.empty(2)) == 0.0
+
+    def test_estimate_rejects_unknown_type(self, two_component_model):
+        with pytest.raises(TrainingError):
+            two_component_model.estimate("not a predicate")
+
+    def test_density_dimension_check(self, two_component_model):
+        with pytest.raises(TrainingError):
+            two_component_model.density(np.zeros((3, 5)))
+
+
+class TestTransformations:
+    def test_clipped_removes_negatives_and_renormalises(self):
+        model = UniformMixtureModel(
+            [sub([[0, 1], [0, 1]]), sub([[1, 2], [0, 1]])], [-0.5, 1.0]
+        )
+        clipped = model.clipped()
+        np.testing.assert_allclose(clipped.weights, [0.0, 1.0])
+        assert clipped.total_mass == pytest.approx(1.0)
+
+    def test_sample_points_lie_in_positive_components(self, rng):
+        model = UniformMixtureModel(
+            [sub([[0, 1], [0, 1]]), sub([[5, 6], [5, 6]])], [1.0, 0.0]
+        )
+        points = model.sample(100, rng)
+        assert Hyperrectangle([[0, 1], [0, 1]]).contains_points(points).all()
+
+    def test_sample_requires_positive_mass(self, rng):
+        model = UniformMixtureModel([sub([[0, 1], [0, 1]])], [-1.0])
+        with pytest.raises(TrainingError):
+            model.sample(5, rng)
+
+    def test_weights_are_read_only(self, two_component_model):
+        with pytest.raises(ValueError):
+            two_component_model.weights[0] = 9.0

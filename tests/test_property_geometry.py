@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the geometric core.
+
+These check the algebraic invariants that the Theorem 1 matrices rely on:
+symmetry and boundedness of intersection volumes, additivity of disjoint
+decompositions, and the consistency of the region algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.region import Region
+
+BOUND = 10.0
+
+
+@st.composite
+def boxes(draw, dimension=2):
+    """Random non-degenerate boxes inside [-BOUND, BOUND]^d."""
+    bounds = []
+    for _ in range(dimension):
+        low = draw(st.floats(-BOUND, BOUND - 0.01))
+        width = draw(st.floats(0.01, 5.0))
+        bounds.append((low, min(low + width, BOUND)))
+    return Hyperrectangle(bounds)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=boxes(), b=boxes())
+def test_intersection_volume_is_symmetric_and_bounded(a, b):
+    ab = a.intersection_volume(b)
+    ba = b.intersection_volume(a)
+    assert ab == ba
+    assert 0.0 <= ab <= min(a.volume, b.volume) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=boxes())
+def test_self_intersection_is_volume(a):
+    assert a.intersection_volume(a) == np.testing.assert_allclose(
+        a.intersection_volume(a), a.volume
+    ) or True
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=boxes(), b=boxes())
+def test_subtract_partitions_volume(a, b):
+    """|A \\ B| + |A ∩ B| == |A| and the pieces are disjoint from B."""
+    pieces = a.subtract(b)
+    remainder = sum(piece.volume for piece in pieces)
+    overlap = a.intersection_volume(b)
+    np.testing.assert_allclose(remainder + overlap, a.volume, rtol=1e-9, atol=1e-9)
+    for piece in pieces:
+        assert piece.intersection_volume(b) <= 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=boxes(), b=boxes())
+def test_intersection_box_is_contained(a, b):
+    overlap = a.intersection(b)
+    if overlap is not None:
+        assert a.contains_box(overlap)
+        assert b.contains_box(overlap)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=boxes(), b=boxes(), c=boxes())
+def test_region_volume_matches_inclusion_exclusion(a, b, c):
+    """The disjoint decomposition reproduces |A ∪ B ∪ C| (inclusion–exclusion)."""
+    region = Region([a, b, c])
+    expected = (
+        a.volume + b.volume + c.volume
+        - a.intersection_volume(b)
+        - a.intersection_volume(c)
+        - b.intersection_volume(c)
+    )
+    abc = a.intersection(b)
+    if abc is not None:
+        expected += abc.intersection_volume(c)
+    np.testing.assert_allclose(region.volume, expected, rtol=1e-7, atol=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=boxes(), b=boxes(), probe=boxes())
+def test_region_intersection_volume_is_additive_over_pieces(a, b, probe):
+    region = Region([a, b])
+    direct = region.intersection_volume(probe)
+    vectorised = region.intersection_volumes([probe])[0]
+    np.testing.assert_allclose(direct, vectorised, rtol=1e-9, atol=1e-9)
+    assert direct <= probe.volume + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=boxes())
+def test_complement_tiles_the_domain(a):
+    domain = Hyperrectangle([[-BOUND, BOUND], [-BOUND, BOUND]])
+    region = Region.from_box(a.intersection(domain) or domain)
+    complement = region.complement(domain)
+    np.testing.assert_allclose(
+        region.volume + complement.volume, domain.volume, rtol=1e-9
+    )

@@ -1,0 +1,112 @@
+"""Property-based tests for the mixture model, training, and estimators.
+
+Invariants checked:
+
+* a uniform mixture model's estimate is always within [0, 1] and additive
+  over disjoint predicates (up to the clipping at the boundaries),
+* the analytic solver reproduces any consistent set of observed
+  selectivities (Theorem 1 feasibility),
+* QuickSel's estimates of observed queries match the feedback it was
+  trained on (the consistency constraints of Problem 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.mixture import UniformMixtureModel
+from repro.core.predicate import box_predicate
+from repro.core.quicksel import QuickSel
+from repro.core.subpopulation import Subpopulation
+from repro.solvers.analytic import solve_penalized_qp
+
+
+@st.composite
+def unit_boxes(draw):
+    """Random sub-boxes of the unit square."""
+    bounds = []
+    for _ in range(2):
+        low = draw(st.floats(0.0, 0.9))
+        width = draw(st.floats(0.05, 1.0))
+        bounds.append((low, min(low + width, 1.0)))
+    return Hyperrectangle(bounds)
+
+
+@st.composite
+def mixtures(draw):
+    """Random small uniform mixture models with non-negative weights."""
+    count = draw(st.integers(1, 5))
+    subs = [Subpopulation(box=draw(unit_boxes()), center=np.zeros(2)) for _ in range(count)]
+    raw = [draw(st.floats(0.0, 1.0)) for _ in range(count)]
+    total = sum(raw) or 1.0
+    weights = [value / total for value in raw]
+    return UniformMixtureModel(subs, weights)
+
+
+@settings(max_examples=50, deadline=None)
+@given(model=mixtures(), probe=unit_boxes())
+def test_mixture_estimates_are_probabilities(model, probe):
+    estimate = model.estimate(probe)
+    assert 0.0 <= estimate <= 1.0
+    domain = Hyperrectangle.unit(2)
+    assert model.estimate(domain) <= 1.0 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(model=mixtures(), split=st.floats(0.1, 0.9))
+def test_mixture_estimate_additive_over_split(model, split):
+    """Splitting the domain into two halves preserves total mass."""
+    left = Hyperrectangle([[0.0, split], [0.0, 1.0]])
+    right = Hyperrectangle([[split, 1.0], [0.0, 1.0]])
+    whole = Hyperrectangle.unit(2)
+    total = model.selectivity_of_box(whole)
+    parts = model.selectivity_of_box(left) + model.selectivity_of_box(right)
+    np.testing.assert_allclose(parts, total, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.floats(0.05, 1.0), min_size=2, max_size=6),
+    data=st.data(),
+)
+def test_analytic_solver_reproduces_consistent_selectivities(weights, data):
+    """For any feasible ground-truth weights, Aw = s is recovered."""
+    count = len(weights)
+    total = sum(weights)
+    true_weights = np.array(weights) / total
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    # Disjoint equal-width vertical slabs as subpopulations.
+    edges = np.linspace(0.0, 1.0, count + 1)
+    boxes = [Hyperrectangle([[edges[i], edges[i + 1]], [0, 1]]) for i in range(count)]
+    volumes = np.array([box.volume for box in boxes])
+    Q = np.diag(1.0 / volumes)
+    # Random constraint rows with fractional coverage of each slab.
+    rows = rng.uniform(0.0, 1.0, size=(count, count))
+    A = np.vstack([np.ones(count), rows])
+    s = A @ true_weights
+    result = solve_penalized_qp(Q, A, s)
+    np.testing.assert_allclose(A @ result.weights, s, atol=1e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000), query_count=st.integers(3, 12))
+def test_quicksel_reproduces_observed_feedback(seed, query_count):
+    rng = np.random.default_rng(seed)
+    domain = Hyperrectangle.unit(2)
+    data = rng.uniform(size=(800, 2))
+    estimator = QuickSel(domain, QuickSelConfig(random_seed=seed))
+    feedback = []
+    for _ in range(query_count):
+        low = rng.uniform(0.0, 0.6, size=2)
+        high = low + rng.uniform(0.2, 0.4, size=2)
+        predicate = box_predicate([(0, low[0], min(high[0], 1)), (1, low[1], min(high[1], 1))])
+        truth = predicate.selectivity(data)
+        feedback.append((predicate, truth))
+        estimator.observe(predicate, truth)
+    estimator.refit()
+    for predicate, truth in feedback:
+        assert abs(estimator.estimate(predicate) - truth) < 0.05

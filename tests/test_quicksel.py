@@ -1,0 +1,207 @@
+"""Unit and behavioural tests for the QuickSel estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import TruePredicate, box_predicate
+from repro.core.quicksel import QuickSel
+from repro.core.region import Region
+from repro.exceptions import EstimatorError, TrainingError
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = QuickSelConfig()
+        assert config.points_per_predicate == 10
+        assert config.subpopulations_per_query == 4
+        assert config.max_subpopulations == 4000
+        assert config.penalty == pytest.approx(1e6)
+        assert config.solver == "analytic"
+
+    def test_budget_rule(self):
+        config = QuickSelConfig()
+        assert config.subpopulation_budget(0) == 1
+        assert config.subpopulation_budget(10) == 40
+        assert config.subpopulation_budget(2000) == 4000
+
+    def test_fixed_budget_overrides_rule(self):
+        config = QuickSelConfig(fixed_subpopulations=123)
+        assert config.subpopulation_budget(5) == 123
+        assert config.subpopulation_budget(5000) == 123
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"points_per_predicate": 0},
+            {"subpopulations_per_query": 0},
+            {"max_subpopulations": 0},
+            {"fixed_subpopulations": 0},
+            {"neighbor_count": 0},
+            {"penalty": 0.0},
+            {"solver": "nope"},
+            {"regularization": -1.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(TrainingError):
+            QuickSelConfig(**kwargs)
+
+
+class TestQuickSelBasics:
+    def test_initial_estimate_is_uniform(self, unit_square):
+        estimator = QuickSel(unit_square)
+        predicate = box_predicate([(0, 0.0, 0.5), (1, 0.0, 0.5)])
+        # With no observed queries the model is uniform over the domain.
+        assert estimator.estimate(predicate) == pytest.approx(0.25, abs=1e-4)
+
+    def test_true_predicate_estimates_one(self, unit_square):
+        estimator = QuickSel(unit_square)
+        assert estimator.estimate(TruePredicate()) == pytest.approx(1.0, abs=1e-4)
+
+    def test_observe_accepts_boxes_and_regions(self, unit_square):
+        estimator = QuickSel(unit_square)
+        estimator.observe(Hyperrectangle([[0, 0.5], [0, 0.5]]), 0.3)
+        estimator.observe(Region.from_box(Hyperrectangle([[0.5, 1], [0.5, 1]])), 0.2)
+        estimator.observe(box_predicate([(0, 0, 1)]), 1.0)
+        assert estimator.observed_count == 3
+        estimator.refit()
+        assert estimator.parameter_count > 0
+
+    def test_dimension_mismatch_rejected(self, unit_square):
+        estimator = QuickSel(unit_square)
+        with pytest.raises(EstimatorError):
+            estimator.observe(Hyperrectangle.unit(3), 0.5)
+        with pytest.raises(EstimatorError):
+            estimator.estimate(Region.empty(3))
+
+    def test_unsupported_predicate_type_rejected(self, unit_square):
+        estimator = QuickSel(unit_square)
+        with pytest.raises(EstimatorError):
+            estimator.estimate(42)
+
+    def test_observe_many_and_lazy_refit(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = QuickSel(unit_square)
+        predicates = random_box_queries(10)
+        estimator.observe_many(
+            [(p, p.selectivity(gaussian_rows)) for p in predicates]
+        )
+        assert estimator.model is None  # not refitted yet
+        estimator.estimate(predicates[0])  # triggers lazy refit
+        assert estimator.model is not None
+        assert estimator.last_refit is not None
+        assert estimator.last_refit.observed_queries == 10
+
+    def test_parameter_budget_rule(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = QuickSel(unit_square)
+        predicates = random_box_queries(12)
+        for p in predicates:
+            estimator.observe(p, p.selectivity(gaussian_rows))
+        estimator.refit()
+        assert estimator.parameter_count == 4 * 12
+
+    def test_fixed_parameter_budget(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = QuickSel(
+            unit_square, QuickSelConfig(fixed_subpopulations=16, random_seed=0)
+        )
+        for p in random_box_queries(12):
+            estimator.observe(p, p.selectivity(gaussian_rows))
+        estimator.refit()
+        assert estimator.parameter_count == 16
+
+    def test_estimates_clipped_to_unit_interval(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = QuickSel(unit_square)
+        for p in random_box_queries(20):
+            estimator.observe(p, p.selectivity(gaussian_rows))
+        for p in random_box_queries(20, seed=99):
+            estimate = estimator.estimate(p)
+            assert 0.0 <= estimate <= 1.0
+
+
+class TestQuickSelLearning:
+    def test_consistency_with_observed_queries(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        """After training, the model reproduces the observed selectivities."""
+        estimator = QuickSel(unit_square)
+        predicates = random_box_queries(30)
+        feedback = [(p, p.selectivity(gaussian_rows)) for p in predicates]
+        estimator.observe_many(feedback, refit=True)
+        for predicate, truth in feedback:
+            assert estimator.estimate(predicate) == pytest.approx(truth, abs=0.02)
+
+    def test_accuracy_improves_with_more_queries(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        test_predicates = random_box_queries(40, seed=101)
+        truths = [p.selectivity(gaussian_rows) for p in test_predicates]
+
+        def mean_error(train_count):
+            estimator = QuickSel(unit_square, QuickSelConfig(random_seed=1))
+            for p in random_box_queries(train_count, seed=55):
+                estimator.observe(p, p.selectivity(gaussian_rows))
+            estimator.refit()
+            estimates = [estimator.estimate(p) for p in test_predicates]
+            return float(np.mean(np.abs(np.array(estimates) - np.array(truths))))
+
+        few = mean_error(5)
+        many = mean_error(60)
+        assert many < few
+
+    def test_trained_model_beats_uniform_prior(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        test_predicates = random_box_queries(40, seed=7)
+        truths = np.array([p.selectivity(gaussian_rows) for p in test_predicates])
+        uniform_estimates = np.array(
+            [p.to_region(unit_square).volume for p in test_predicates]
+        )
+        estimator = QuickSel(unit_square, QuickSelConfig(random_seed=1))
+        for p in random_box_queries(60, seed=5):
+            estimator.observe(p, p.selectivity(gaussian_rows))
+        estimator.refit()
+        model_estimates = np.array([estimator.estimate(p) for p in test_predicates])
+        assert np.abs(model_estimates - truths).mean() < np.abs(
+            uniform_estimates - truths
+        ).mean()
+
+    def test_refit_stats_populated(self, unit_square, gaussian_rows, random_box_queries):
+        estimator = QuickSel(unit_square)
+        for p in random_box_queries(8):
+            estimator.observe(p, p.selectivity(gaussian_rows))
+        stats = estimator.refit()
+        assert stats.observed_queries == 8
+        assert stats.subpopulations == estimator.parameter_count
+        assert stats.solver == "analytic"
+        assert stats.total_seconds >= 0
+        assert stats.constraint_residual < 1e-3
+
+    @pytest.mark.parametrize("solver", ["analytic", "projected_gradient", "scipy"])
+    def test_all_solvers_produce_reasonable_models(
+        self, unit_square, gaussian_rows, random_box_queries, solver
+    ):
+        estimator = QuickSel(
+            unit_square, QuickSelConfig(solver=solver, random_seed=0)
+        )
+        predicates = random_box_queries(12)
+        for p in predicates:
+            estimator.observe(p, p.selectivity(gaussian_rows))
+        estimator.refit()
+        errors = [
+            abs(estimator.estimate(p) - p.selectivity(gaussian_rows))
+            for p in random_box_queries(20, seed=9)
+        ]
+        assert float(np.mean(errors)) < 0.1
+
+    def test_deterministic_given_seed(self, unit_square, gaussian_rows, random_box_queries):
+        def build():
+            estimator = QuickSel(unit_square, QuickSelConfig(random_seed=42))
+            for p in random_box_queries(15):
+                estimator.observe(p, p.selectivity(gaussian_rows))
+            estimator.refit()
+            return [estimator.estimate(p) for p in random_box_queries(10, seed=3)]
+
+        assert build() == build()

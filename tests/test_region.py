@@ -1,0 +1,134 @@
+"""Unit tests for the Region (union-of-boxes) algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.region import Region
+from repro.exceptions import GeometryError
+
+
+def box(bounds):
+    return Hyperrectangle(bounds)
+
+
+class TestConstruction:
+    def test_single_box(self):
+        region = Region.from_box(box([[0, 1], [0, 1]]))
+        assert region.volume == pytest.approx(1.0)
+        assert len(region) == 1
+
+    def test_overlapping_boxes_are_made_disjoint(self):
+        region = Region.from_boxes(
+            [box([[0, 2], [0, 2]]), box([[1, 3], [1, 3]])]
+        )
+        # Union area of two 2x2 squares overlapping in a 1x1 square = 7.
+        assert region.volume == pytest.approx(7.0)
+        # Pieces must be pairwise disjoint.
+        for i, a in enumerate(region.boxes):
+            for j, b in enumerate(region.boxes):
+                if i != j:
+                    assert a.intersection_volume(b) == pytest.approx(0.0)
+
+    def test_empty_region(self):
+        region = Region.empty(2)
+        assert region.is_empty
+        assert region.volume == 0.0
+        assert region.bounding_box() is None
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            Region([box([[0, 1]]), box([[0, 1], [0, 1]])])
+
+    def test_from_boxes_requires_boxes(self):
+        with pytest.raises(GeometryError):
+            Region.from_boxes([])
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = Region.from_box(box([[0, 1], [0, 1]]))
+        b = Region.from_box(box([[2, 3], [0, 1]]))
+        assert a.union(b).volume == pytest.approx(2.0)
+
+    def test_intersect_box(self):
+        region = Region.from_box(box([[0, 2], [0, 2]]))
+        clipped = region.intersect_box(box([[1, 3], [1, 3]]))
+        assert clipped.volume == pytest.approx(1.0)
+
+    def test_intersect_regions(self):
+        a = Region.from_boxes([box([[0, 2], [0, 1]]), box([[0, 1], [1, 2]])])
+        b = Region.from_box(box([[0.5, 1.5], [0.5, 1.5]]))
+        assert a.intersect(b).volume == pytest.approx(
+            a.intersection_volume(box([[0.5, 1.5], [0.5, 1.5]]))
+        )
+
+    def test_complement(self):
+        domain = box([[0, 1], [0, 1]])
+        region = Region.from_box(box([[0.25, 0.75], [0.25, 0.75]]))
+        complement = region.complement(domain)
+        assert complement.volume == pytest.approx(1.0 - 0.25)
+        # Complement and region together tile the domain.
+        assert complement.union(region).volume == pytest.approx(1.0)
+
+    def test_complement_of_empty_is_domain(self):
+        domain = box([[0, 2], [0, 2]])
+        assert Region.empty(2).complement(domain).volume == pytest.approx(4.0)
+
+
+class TestMeasures:
+    def test_intersection_volume_sums_pieces(self):
+        region = Region.from_boxes(
+            [box([[0, 1], [0, 1]]), box([[2, 3], [0, 1]])]
+        )
+        probe = box([[0.5, 2.5], [0, 1]])
+        assert region.intersection_volume(probe) == pytest.approx(1.0)
+
+    def test_intersection_volumes_vectorised(self):
+        region = Region.from_boxes(
+            [box([[0, 1], [0, 1]]), box([[2, 3], [0, 1]])]
+        )
+        probes = [box([[0, 0.5], [0, 1]]), box([[2.5, 3], [0, 0.5]])]
+        np.testing.assert_allclose(
+            region.intersection_volumes(probes), [0.5, 0.25]
+        )
+
+    def test_contains_point(self):
+        region = Region.from_boxes(
+            [box([[0, 1], [0, 1]]), box([[2, 3], [2, 3]])]
+        )
+        assert region.contains_point([0.5, 0.5])
+        assert region.contains_point([2.5, 2.5])
+        assert not region.contains_point([1.5, 1.5])
+
+    def test_contains_points_shape_validation(self):
+        region = Region.from_box(box([[0, 1], [0, 1]]))
+        with pytest.raises(GeometryError):
+            region.contains_points(np.zeros((3, 3)))
+
+    def test_sample_points_inside(self, rng):
+        region = Region.from_boxes(
+            [box([[0, 1], [0, 1]]), box([[2, 3], [0, 1]])]
+        )
+        points = region.sample_points(300, rng)
+        assert points.shape == (300, 2)
+        assert region.contains_points(points).all()
+
+    def test_sample_points_degenerate_region(self, rng):
+        region = Region.from_box(box([[1, 1], [0, 1]]))
+        points = region.sample_points(5, rng)
+        assert points.shape == (5, 2)
+        assert (points[:, 0] == 1.0).all()
+
+    def test_sample_zero_points(self, rng):
+        region = Region.from_box(box([[0, 1], [0, 1]]))
+        assert region.sample_points(0, rng).shape == (0, 2)
+
+    def test_bounding_box(self):
+        region = Region.from_boxes(
+            [box([[0, 1], [0, 1]]), box([[2, 3], [2, 3]])]
+        )
+        bounding = region.bounding_box()
+        np.testing.assert_allclose(bounding.bounds, [[0, 3], [0, 3]])

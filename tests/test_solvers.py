@@ -1,0 +1,213 @@
+"""Unit tests for the numerical solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solvers.analytic import solve_penalized_qp
+from repro.solvers.iterative_scaling import solve_iterative_scaling
+from repro.solvers.linalg import (
+    project_to_simplex_nonneg,
+    regularized_solve,
+    symmetrize,
+)
+from repro.solvers.projected_gradient import solve_projected_gradient
+from repro.solvers.scipy_qp import solve_constrained_qp
+
+
+@pytest.fixture
+def tiny_problem():
+    """Two disjoint equal-volume components with one constraint each.
+
+    Q = 2 I (volumes 0.5), A rows: total mass = 1, first component = 0.7.
+    The exact solution is w = (0.7, 0.3).
+    """
+    Q = np.array([[2.0, 0.0], [0.0, 2.0]])
+    A = np.array([[1.0, 1.0], [1.0, 0.0]])
+    s = np.array([1.0, 0.7])
+    return Q, A, s
+
+
+@pytest.fixture
+def random_problem(rng):
+    """A random PSD problem with a known feasible non-negative solution."""
+    m, n = 12, 5
+    basis = rng.uniform(0.1, 1.0, size=(m, m))
+    Q = basis @ basis.T / m
+    A = rng.uniform(0.0, 1.0, size=(n, m))
+    w_true = rng.uniform(0.0, 1.0, size=m)
+    s = A @ w_true
+    return Q, A, s
+
+
+class TestLinalgHelpers:
+    def test_symmetrize(self):
+        matrix = np.array([[1.0, 2.0], [0.0, 1.0]])
+        result = symmetrize(matrix)
+        np.testing.assert_allclose(result, result.T)
+        with pytest.raises(SolverError):
+            symmetrize(np.zeros((2, 3)))
+
+    def test_regularized_solve_exact(self):
+        matrix = np.array([[2.0, 0.0], [0.0, 4.0]])
+        rhs = np.array([2.0, 8.0])
+        np.testing.assert_allclose(regularized_solve(matrix, rhs), [1.0, 2.0])
+
+    def test_regularized_solve_singular_falls_back(self):
+        matrix = np.zeros((2, 2))
+        rhs = np.array([1.0, 1.0])
+        solution = regularized_solve(matrix, rhs)
+        assert solution.shape == (2,)
+        assert np.isfinite(solution).all()
+
+    def test_regularized_solve_validation(self):
+        with pytest.raises(SolverError):
+            regularized_solve(np.eye(2), np.ones(3))
+        with pytest.raises(SolverError):
+            regularized_solve(np.eye(2), np.ones(2), ridge=-1)
+
+    def test_project_to_simplex(self):
+        result = project_to_simplex_nonneg(np.array([-1.0, 1.0, 3.0]))
+        assert (result >= 0).all()
+        assert result.sum() == pytest.approx(1.0)
+        with pytest.raises(SolverError):
+            project_to_simplex_nonneg(np.array([-1.0, -2.0]))
+
+
+class TestAnalyticSolver:
+    def test_exact_solution_on_tiny_problem(self, tiny_problem):
+        Q, A, s = tiny_problem
+        result = solve_penalized_qp(Q, A, s)
+        np.testing.assert_allclose(result.weights, [0.7, 0.3], atol=1e-4)
+        assert result.constraint_residual < 1e-4
+        assert result.objective >= 0
+
+    def test_constraints_hold_on_random_problem(self, random_problem):
+        Q, A, s = random_problem
+        result = solve_penalized_qp(Q, A, s)
+        np.testing.assert_allclose(A @ result.weights, s, atol=1e-3)
+
+    def test_penalty_controls_constraint_violation(self, random_problem):
+        Q, A, s = random_problem
+        loose = solve_penalized_qp(Q, A, s, penalty=1.0)
+        tight = solve_penalized_qp(Q, A, s, penalty=1e8)
+        assert tight.constraint_residual <= loose.constraint_residual
+
+    def test_shape_validation(self, tiny_problem):
+        Q, A, s = tiny_problem
+        with pytest.raises(SolverError):
+            solve_penalized_qp(Q, A[:, :1], s)
+        with pytest.raises(SolverError):
+            solve_penalized_qp(Q, A, s[:1])
+        with pytest.raises(SolverError):
+            solve_penalized_qp(Q, A, s, penalty=0)
+
+
+class TestProjectedGradient:
+    def test_matches_analytic_on_tiny_problem(self, tiny_problem):
+        Q, A, s = tiny_problem
+        result = solve_projected_gradient(Q, A, s, max_iterations=5000)
+        np.testing.assert_allclose(result.weights, [0.7, 0.3], atol=1e-2)
+        assert (result.weights >= 0).all()
+
+    def test_reports_iterations_and_convergence(self, tiny_problem):
+        Q, A, s = tiny_problem
+        result = solve_projected_gradient(Q, A, s, max_iterations=5000)
+        assert result.iterations >= 1
+        assert isinstance(result.converged, bool)
+
+    def test_weights_always_non_negative(self, random_problem):
+        Q, A, s = random_problem
+        result = solve_projected_gradient(Q, A, s, max_iterations=500)
+        assert (result.weights >= 0).all()
+
+    def test_initial_guess_accepted(self, tiny_problem):
+        Q, A, s = tiny_problem
+        result = solve_projected_gradient(Q, A, s, initial=np.array([0.5, 0.5]))
+        np.testing.assert_allclose(result.weights, [0.7, 0.3], atol=1e-2)
+        with pytest.raises(SolverError):
+            solve_projected_gradient(Q, A, s, initial=np.ones(3))
+
+    def test_validation(self, tiny_problem):
+        Q, A, s = tiny_problem
+        with pytest.raises(SolverError):
+            solve_projected_gradient(Q, A, s, max_iterations=0)
+        with pytest.raises(SolverError):
+            solve_projected_gradient(Q, A, s, penalty=-1)
+
+
+class TestScipySolver:
+    def test_matches_exact_solution(self, tiny_problem):
+        Q, A, s = tiny_problem
+        result = solve_constrained_qp(Q, A, s)
+        np.testing.assert_allclose(result.weights, [0.7, 0.3], atol=1e-3)
+        assert result.converged
+        assert (result.weights >= 0).all()
+
+    def test_constraint_residual_small(self, random_problem):
+        Q, A, s = random_problem
+        result = solve_constrained_qp(Q, A, s)
+        assert result.constraint_residual < 1e-3
+
+    def test_shape_validation(self, tiny_problem):
+        Q, A, s = tiny_problem
+        with pytest.raises(SolverError):
+            solve_constrained_qp(Q, A[:, :1], s)
+
+
+class TestIterativeScaling:
+    def test_simple_two_bucket_problem(self):
+        membership = np.array([[1.0, 0.0]])
+        selectivities = np.array([0.3])
+        volumes = np.array([0.5, 0.5])
+        result = solve_iterative_scaling(membership, selectivities, volumes)
+        np.testing.assert_allclose(result.frequencies, [0.3, 0.7], atol=1e-6)
+        assert result.converged
+
+    def test_multiple_constraints(self):
+        # Four buckets; two overlapping constraints.
+        membership = np.array(
+            [[1.0, 1.0, 0.0, 0.0], [0.0, 1.0, 1.0, 0.0]]
+        )
+        selectivities = np.array([0.5, 0.4])
+        volumes = np.full(4, 0.25)
+        result = solve_iterative_scaling(membership, selectivities, volumes)
+        estimated = membership @ result.frequencies
+        np.testing.assert_allclose(estimated, selectivities, atol=1e-4)
+        assert (result.frequencies >= 0).all()
+
+    def test_maximum_entropy_prior_without_constraints(self):
+        membership = np.zeros((0, 3))
+        volumes = np.array([0.2, 0.3, 0.5])
+        result = solve_iterative_scaling(membership, np.zeros(0), volumes)
+        np.testing.assert_allclose(result.frequencies, volumes / volumes.sum())
+
+    def test_rejects_fractional_membership(self):
+        with pytest.raises(SolverError):
+            solve_iterative_scaling(
+                np.array([[0.5, 0.5]]), np.array([0.3]), np.array([0.5, 0.5])
+            )
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(SolverError):
+            solve_iterative_scaling(
+                np.array([[1.0, 0.0]]), np.array([1.5]), np.array([0.5, 0.5])
+            )
+        with pytest.raises(SolverError):
+            solve_iterative_scaling(
+                np.array([[1.0, 0.0]]), np.array([0.5]), np.array([0.0, 0.5])
+            )
+        with pytest.raises(SolverError):
+            solve_iterative_scaling(
+                np.ones(3), np.array([0.5]), np.array([0.5])
+            )
+
+    def test_zero_selectivity_constraint(self):
+        membership = np.array([[1.0, 0.0, 0.0]])
+        result = solve_iterative_scaling(
+            membership, np.array([0.0]), np.full(3, 1.0 / 3)
+        )
+        assert result.frequencies[0] == pytest.approx(0.0, abs=1e-9)
+        assert result.frequencies.sum() == pytest.approx(1.0, abs=1e-6)

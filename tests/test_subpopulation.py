@@ -1,0 +1,102 @@
+"""Unit tests for subpopulation construction (Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.region import Region
+from repro.core.subpopulation import (
+    SubpopulationBuilder,
+    generate_anchor_points,
+)
+from repro.exceptions import TrainingError
+
+
+def region(bounds):
+    return Region.from_box(Hyperrectangle(bounds))
+
+
+@pytest.fixture
+def builder(unit_square):
+    return SubpopulationBuilder(unit_square, QuickSelConfig(random_seed=0))
+
+
+class TestAnchorPoints:
+    def test_points_come_from_regions(self, rng):
+        regions = [region([[0, 0.5], [0, 0.5]]), region([[0.5, 1], [0.5, 1]])]
+        points = generate_anchor_points(regions, 10, rng)
+        assert points.shape == (20, 2)
+        union = Region.from_boxes(
+            [Hyperrectangle([[0, 0.5], [0, 0.5]]), Hyperrectangle([[0.5, 1], [0.5, 1]])]
+        )
+        assert union.contains_points(points).all()
+
+    def test_empty_regions_rejected(self, rng):
+        with pytest.raises(TrainingError):
+            generate_anchor_points([Region.empty(2)], 10, rng)
+
+
+class TestBuilder:
+    def test_no_queries_gives_domain_subpopulation(self, builder, rng, unit_square):
+        subpopulations = builder.build([], rng)
+        assert len(subpopulations) == 1
+        assert subpopulations[0].box == unit_square
+
+    def test_budget_follows_config_rule(self, builder, rng):
+        regions = [region([[0.1, 0.4], [0.1, 0.4]]) for _ in range(5)]
+        subpopulations = builder.build(regions, rng)
+        # min(4 * 5, 4000) = 20
+        assert len(subpopulations) == 20
+
+    def test_explicit_budget_override(self, builder, rng):
+        regions = [region([[0.1, 0.4], [0.1, 0.4]]) for _ in range(5)]
+        assert len(builder.build(regions, rng, budget=7)) == 7
+
+    def test_budget_larger_than_anchor_pool(self, builder, rng):
+        regions = [region([[0.1, 0.4], [0.1, 0.4]])]
+        subpopulations = builder.build(regions, rng, budget=500)
+        # Only 10 anchor points exist for one region, so at most 10 centres.
+        assert len(subpopulations) == 10
+
+    def test_invalid_budget_rejected(self, builder, rng):
+        with pytest.raises(TrainingError):
+            builder.build([region([[0, 1], [0, 1]])], rng, budget=0)
+
+    def test_boxes_have_positive_volume_and_stay_in_domain(
+        self, builder, rng, unit_square
+    ):
+        regions = [
+            region([[0.0, 0.3], [0.0, 0.3]]),
+            region([[0.6, 0.9], [0.6, 0.9]]),
+            region([[0.2, 0.8], [0.2, 0.8]]),
+        ]
+        subpopulations = builder.build(regions, rng)
+        for sub in subpopulations:
+            assert sub.volume > 0
+            assert unit_square.contains_box(sub.box)
+
+    def test_more_predicate_overlap_means_more_subpopulations_nearby(
+        self, unit_square, rng
+    ):
+        """Regions touched by many predicates should attract more centres."""
+        config = QuickSelConfig(random_seed=0)
+        builder = SubpopulationBuilder(unit_square, config)
+        hot = [region([[0.0, 0.2], [0.0, 0.2]]) for _ in range(9)]
+        cold = [region([[0.7, 0.9], [0.7, 0.9]])]
+        subpopulations = builder.build(hot + cold, rng, budget=20)
+        hot_box = Hyperrectangle([[0.0, 0.2], [0.0, 0.2]])
+        hot_centers = sum(
+            1 for sub in subpopulations if hot_box.contains_point(sub.center)
+        )
+        assert hot_centers > len(subpopulations) / 2
+
+    def test_identical_centers_fall_back_to_domain_fraction(self, unit_square, rng):
+        config = QuickSelConfig(random_seed=0)
+        builder = SubpopulationBuilder(unit_square, config)
+        degenerate = Region.from_box(Hyperrectangle([[0.5, 0.5], [0.5, 0.5]]))
+        subpopulations = builder.build([degenerate], rng)
+        for sub in subpopulations:
+            assert sub.volume > 0

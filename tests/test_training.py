@@ -1,0 +1,136 @@
+"""Unit tests for training-problem assembly and solving (Theorem 1 / Problem 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.region import Region
+from repro.core.subpopulation import Subpopulation, SubpopulationBuilder
+from repro.core.training import ObservedQuery, build_problem, solve
+from repro.exceptions import TrainingError
+
+
+def sub(bounds):
+    box = Hyperrectangle(bounds)
+    return Subpopulation(box=box, center=box.center)
+
+
+def query(bounds, selectivity):
+    return ObservedQuery(
+        region=Region.from_box(Hyperrectangle(bounds)), selectivity=selectivity
+    )
+
+
+@pytest.fixture
+def simple_setup(unit_square):
+    """Two disjoint half-domain subpopulations and one observed query."""
+    subpopulations = [sub([[0, 0.5], [0, 1]]), sub([[0.5, 1], [0, 1]])]
+    queries = [query([[0, 0.5], [0, 1]], 0.7)]
+    return unit_square, subpopulations, queries
+
+
+class TestObservedQuery:
+    def test_selectivity_bounds_validated(self):
+        with pytest.raises(TrainingError):
+            query([[0, 1], [0, 1]], 1.5)
+        with pytest.raises(TrainingError):
+            query([[0, 1], [0, 1]], -0.1)
+
+
+class TestBuildProblem:
+    def test_matrix_shapes(self, simple_setup):
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        assert problem.Q.shape == (2, 2)
+        assert problem.A.shape == (2, 2)  # default query + 1 observed
+        assert problem.s.shape == (2,)
+        assert problem.query_count == 2
+        assert problem.subpopulation_count == 2
+
+    def test_q_matrix_values(self, simple_setup):
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        # |G_i| = 0.5; diagonal = 0.5 / 0.25 = 2; off-diagonal = 0.
+        np.testing.assert_allclose(problem.Q, [[2.0, 0.0], [0.0, 2.0]])
+
+    def test_a_matrix_values(self, simple_setup):
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        # Default query covers both subpopulations fully; the observed
+        # predicate covers only the first.
+        np.testing.assert_allclose(problem.A, [[1.0, 1.0], [1.0, 0.0]])
+        np.testing.assert_allclose(problem.s, [1.0, 0.7])
+
+    def test_without_default_query(self, simple_setup):
+        _, subpopulations, queries = simple_setup
+        problem = build_problem(
+            subpopulations, queries, include_default_query=False
+        )
+        assert problem.A.shape == (1, 2)
+
+    def test_default_query_requires_domain(self, simple_setup):
+        _, subpopulations, queries = simple_setup
+        with pytest.raises(TrainingError):
+            build_problem(subpopulations, queries, domain=None)
+
+    def test_requires_subpopulations(self, unit_square):
+        with pytest.raises(TrainingError):
+            build_problem([], [], domain=unit_square)
+
+    def test_multi_box_region_row(self, unit_square):
+        subpopulations = [sub([[0, 1], [0, 1]])]
+        region = Region.from_boxes(
+            [Hyperrectangle([[0, 0.25], [0, 1]]), Hyperrectangle([[0.75, 1], [0, 1]])]
+        )
+        problem = build_problem(
+            subpopulations,
+            [ObservedQuery(region=region, selectivity=0.5)],
+            domain=unit_square,
+        )
+        # The disjunctive predicate covers half of the single subpopulation.
+        assert problem.A[1, 0] == pytest.approx(0.5)
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("solver", ["analytic", "projected_gradient", "scipy"])
+    def test_all_solvers_satisfy_constraints(self, simple_setup, solver):
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        result = solve(problem, solver=solver)
+        estimates = problem.A @ result.weights
+        np.testing.assert_allclose(estimates, problem.s, atol=1e-3)
+        assert result.solver == solver
+
+    def test_analytic_solution_is_exact_split(self, simple_setup):
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        result = solve(problem, solver="analytic")
+        np.testing.assert_allclose(result.weights, [0.7, 0.3], atol=1e-3)
+
+    def test_unknown_solver_rejected(self, simple_setup):
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        with pytest.raises(TrainingError):
+            solve(problem, solver="magic")
+
+    def test_analytic_and_iterative_agree_on_realistic_problem(
+        self, unit_square, rng, gaussian_rows, random_box_queries
+    ):
+        config = QuickSelConfig(random_seed=0)
+        builder = SubpopulationBuilder(unit_square, config)
+        predicates = random_box_queries(25)
+        regions = [p.to_region(unit_square) for p in predicates]
+        queries = [
+            ObservedQuery(region=r, selectivity=p.selectivity(gaussian_rows))
+            for r, p in zip(regions, predicates)
+        ]
+        subpopulations = builder.build(regions, rng)
+        problem = build_problem(subpopulations, queries, domain=unit_square)
+        analytic = solve(problem, solver="analytic")
+        iterative = solve(problem, solver="projected_gradient")
+        # Both respect the observed selectivities.
+        assert analytic.constraint_residual < 1e-3
+        assert iterative.constraint_residual < 5e-2
