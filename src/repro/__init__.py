@@ -16,6 +16,9 @@ The package is organised as:
   for the DMV, Instacart, and Gaussian datasets of the evaluation.
 * :mod:`repro.experiments` — the harness that regenerates every table and
   figure of the paper's evaluation section.
+* :mod:`repro.serving` — the serving layer: versioned immutable model
+  snapshots, a batched+cached :class:`~repro.serving.service.SelectivityService`
+  front-end, and policy-driven background refits.
 """
 
 from repro.core import (
@@ -31,8 +34,16 @@ from repro.core import (
     box_predicate,
 )
 from repro.exceptions import ReproError
+from repro.serving import (
+    EstimatorRegistry,
+    ModelKey,
+    ModelSnapshot,
+    RefitPolicy,
+    SelectivityService,
+    ServingEstimator,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -47,4 +58,10 @@ __all__ = [
     "QuickSel",
     "QuickSelConfig",
     "UniformMixtureModel",
+    "ModelSnapshot",
+    "ModelKey",
+    "EstimatorRegistry",
+    "RefitPolicy",
+    "SelectivityService",
+    "ServingEstimator",
 ]

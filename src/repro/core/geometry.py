@@ -32,6 +32,8 @@ __all__ = [
     "intersection_volume",
     "pairwise_intersection_volumes",
     "cross_intersection_volumes",
+    "stack_bounds",
+    "intersection_volumes_from_bounds",
 ]
 
 
@@ -414,13 +416,41 @@ def intersection_volume(a: Hyperrectangle, b: Hyperrectangle) -> float:
     return a.intersection_volume(b)
 
 
-def _bounds_stack(boxes: Sequence[Hyperrectangle]) -> tuple[np.ndarray, np.ndarray]:
-    """Stack lower/upper corners of a list of boxes into two arrays."""
+def stack_bounds(boxes: Sequence[Hyperrectangle]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack lower/upper corners of a list of boxes into two ``(n, d)`` arrays.
+
+    Callers that evaluate many intersection queries against a *fixed* set
+    of boxes (e.g. a trained mixture model's subpopulations) should stack
+    once and reuse the arrays with
+    :func:`intersection_volumes_from_bounds`, skipping the per-call Python
+    loop over box objects.
+    """
     if not boxes:
         return np.empty((0, 0)), np.empty((0, 0))
     lower = np.stack([box.lower for box in boxes])
     upper = np.stack([box.upper for box in boxes])
     return lower, upper
+
+
+def intersection_volumes_from_bounds(
+    row_lower: np.ndarray,
+    row_upper: np.ndarray,
+    col_lower: np.ndarray,
+    col_upper: np.ndarray,
+) -> np.ndarray:
+    """Intersection-volume matrix from pre-stacked ``(n, d)``/``(m, d)`` bounds.
+
+    The raw-array form of :func:`cross_intersection_volumes`; it is the
+    batched-estimation hot path, where the column side (the model's
+    subpopulations) is stacked once at model construction and the row side
+    (predicate boxes) once per batch.
+    """
+    if row_lower.size == 0 or col_lower.size == 0:
+        return np.zeros((row_lower.shape[0], col_lower.shape[0]))
+    joint_lower = np.maximum(row_lower[:, None, :], col_lower[None, :, :])
+    joint_upper = np.minimum(row_upper[:, None, :], col_upper[None, :, :])
+    widths = np.clip(joint_upper - joint_lower, 0.0, None)
+    return widths.prod(axis=2)
 
 
 def pairwise_intersection_volumes(boxes: Sequence[Hyperrectangle]) -> np.ndarray:
@@ -430,13 +460,10 @@ def pairwise_intersection_volumes(boxes: Sequence[Hyperrectangle]) -> np.ndarray
     ``Q[i, j] = |G_i ∩ G_j| / (|G_i| |G_j|)`` -- the caller divides by the
     volumes.  Runs in O(m^2 d) using broadcasting.
     """
-    lower, upper = _bounds_stack(boxes)
+    lower, upper = stack_bounds(boxes)
     if lower.size == 0:
         return np.zeros((0, 0))
-    joint_lower = np.maximum(lower[:, None, :], lower[None, :, :])
-    joint_upper = np.minimum(upper[:, None, :], upper[None, :, :])
-    widths = np.clip(joint_upper - joint_lower, 0.0, None)
-    return widths.prod(axis=2)
+    return intersection_volumes_from_bounds(lower, upper, lower, upper)
 
 
 def cross_intersection_volumes(
@@ -447,11 +474,10 @@ def cross_intersection_volumes(
     Vectorised kernel behind the ``A`` matrix of Theorem 1:
     ``A[i, j] = |B_i ∩ G_j| / |G_j|``.
     """
-    row_lower, row_upper = _bounds_stack(rows)
-    col_lower, col_upper = _bounds_stack(cols)
+    row_lower, row_upper = stack_bounds(rows)
+    col_lower, col_upper = stack_bounds(cols)
     if row_lower.size == 0 or col_lower.size == 0:
         return np.zeros((len(rows), len(cols)))
-    joint_lower = np.maximum(row_lower[:, None, :], col_lower[None, :, :])
-    joint_upper = np.minimum(row_upper[:, None, :], col_upper[None, :, :])
-    widths = np.clip(joint_upper - joint_lower, 0.0, None)
-    return widths.prod(axis=2)
+    return intersection_volumes_from_bounds(
+        row_lower, row_upper, col_lower, col_upper
+    )

@@ -19,7 +19,11 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.geometry import Hyperrectangle, cross_intersection_volumes
+from repro.core.geometry import (
+    Hyperrectangle,
+    intersection_volumes_from_bounds,
+    stack_bounds,
+)
 from repro.core.region import Region
 from repro.core.subpopulation import Subpopulation
 from repro.exceptions import TrainingError
@@ -54,6 +58,11 @@ class UniformMixtureModel:
         self._weights.setflags(write=False)
         self._volumes = volumes
         self._boxes = [sub.box for sub in subpopulations]
+        # Component bounds stacked once so estimation (scalar and batched)
+        # skips the per-call Python loop over box objects, and the
+        # weight/volume ratio each overlap volume is dotted with.
+        self._component_lower, self._component_upper = stack_bounds(self._boxes)
+        self._weight_over_volume = self._weights / self._volumes
 
     # ------------------------------------------------------------------
     # Properties
@@ -108,8 +117,13 @@ class UniformMixtureModel:
 
     def selectivity_of_box(self, box: Hyperrectangle) -> float:
         """Estimated selectivity of a single-box predicate."""
-        overlaps = cross_intersection_volumes([box], self._boxes)[0]
-        return float(np.dot(self._weights, overlaps / self._volumes))
+        overlaps = intersection_volumes_from_bounds(
+            box.lower[None, :],
+            box.upper[None, :],
+            self._component_lower,
+            self._component_upper,
+        )[0]
+        return float(np.dot(self._weight_over_volume, overlaps))
 
     def selectivity_of_region(self, region: Region) -> float:
         """Estimated selectivity of an arbitrary (union-of-boxes) predicate."""
@@ -129,6 +143,74 @@ class UniformMixtureModel:
                 f"cannot estimate selectivity of {type(target).__name__}"
             )
         return float(min(max(raw, 0.0), 1.0))
+
+    def estimate_many(
+        self, targets: Sequence[Hyperrectangle | Region]
+    ) -> np.ndarray:
+        """Estimate selectivities for a batch of boxes/regions at once.
+
+        This is the serving layer's vectorised fast path.  All predicate
+        pieces (a box contributes itself; a region contributes its
+        disjoint boxes) are stacked into one ``(P, d)`` array and hit the
+        component boxes with a single
+        :func:`~repro.core.geometry.intersection_volumes_from_bounds`
+        kernel call; per-piece estimates are then summed back to their
+        owning predicate with ``np.bincount``.  Elementwise the result
+        equals :meth:`estimate` (same kernel, same clipping), but the
+        Python/dispatch overhead is paid once per batch instead of once
+        per predicate.
+        """
+        if len(targets) == 0:
+            return np.zeros(0)
+        piece_lower: list[np.ndarray] = []
+        piece_upper: list[np.ndarray] = []
+        owners: list[int] = []
+        for index, target in enumerate(targets):
+            if isinstance(target, Hyperrectangle):
+                boxes: Sequence[Hyperrectangle] = (target,)
+            elif isinstance(target, Region):
+                boxes = target.boxes
+            else:
+                raise TrainingError(
+                    f"cannot estimate selectivity of {type(target).__name__}"
+                )
+            for box in boxes:
+                piece_lower.append(box.lower)
+                piece_upper.append(box.upper)
+                owners.append(index)
+        return self.estimate_from_bounds(piece_lower, piece_upper, owners, len(targets))
+
+    def estimate_from_bounds(
+        self,
+        piece_lower: Sequence[np.ndarray],
+        piece_upper: Sequence[np.ndarray],
+        owners: Sequence[int],
+        count: int,
+    ) -> np.ndarray:
+        """Batched estimation from raw predicate-piece bounds.
+
+        ``piece_lower``/``piece_upper`` hold one ``(d,)`` corner pair per
+        disjoint predicate piece and ``owners[i]`` names the predicate
+        (``0 <= owners[i] < count``) piece ``i`` belongs to; predicates
+        with no pieces (empty regions) estimate to 0.  This is the lowest
+        rung of the batch fast path — callers that can lower predicates
+        straight to bounds (see
+        :meth:`repro.core.quicksel.QuickSel.estimate_many`) skip
+        :class:`Hyperrectangle`/:class:`Region` construction entirely.
+        """
+        if not len(owners):
+            return np.zeros(count)
+        overlaps = intersection_volumes_from_bounds(
+            np.stack(piece_lower),
+            np.stack(piece_upper),
+            self._component_lower,
+            self._component_upper,
+        )
+        per_piece = overlaps @ self._weight_over_volume
+        estimates = np.bincount(
+            np.asarray(owners, dtype=np.intp), weights=per_piece, minlength=count
+        )
+        return np.clip(estimates, 0.0, 1.0)
 
     # ------------------------------------------------------------------
     # Transformations

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.geometry import Hyperrectangle
 from repro.core.region import Region
-from repro.exceptions import PredicateError
+from repro.exceptions import EstimatorError, PredicateError
 
 __all__ = [
     "Constraint",
@@ -46,6 +46,8 @@ __all__ = [
     "and_",
     "or_",
     "not_",
+    "as_region",
+    "lower_batch",
 ]
 
 
@@ -229,8 +231,14 @@ class BoxPredicate(Predicate):
             )
         self.constraints = tuple(constraint_list)
 
-    def to_box(self, domain: Hyperrectangle) -> Hyperrectangle:
-        """Return the hyperrectangle this predicate selects inside ``domain``."""
+    def to_bounds_array(self, domain: Hyperrectangle) -> np.ndarray:
+        """Return the raw ``(d, 2)`` bounds this predicate selects inside ``domain``.
+
+        Identical clipping semantics to :meth:`to_box`, but skips the
+        :class:`Hyperrectangle` construction (and its validation) so
+        batched estimation can lower thousands of predicates without
+        per-predicate object churn.
+        """
         bounds = domain.as_array()
         for constraint in self.constraints:
             if constraint.dim >= domain.dimension:
@@ -243,7 +251,11 @@ class BoxPredicate(Predicate):
             bounds[constraint.dim, 1] = min(bounds[constraint.dim, 1], high)
             if bounds[constraint.dim, 0] > bounds[constraint.dim, 1]:
                 bounds[constraint.dim, 1] = bounds[constraint.dim, 0]
-        return Hyperrectangle(bounds)
+        return bounds
+
+    def to_box(self, domain: Hyperrectangle) -> Hyperrectangle:
+        """Return the hyperrectangle this predicate selects inside ``domain``."""
+        return Hyperrectangle(self.to_bounds_array(domain))
 
     def to_region(self, domain: Hyperrectangle) -> Region:
         return Region.from_box(self.to_box(domain))
@@ -362,3 +374,94 @@ def or_(*predicates: Predicate) -> Predicate:
 def not_(predicate: Predicate) -> Predicate:
     """Negation of a predicate."""
     return Negation(predicate)
+
+
+def as_region(
+    predicate: "Predicate | Hyperrectangle | Region", domain: Hyperrectangle
+) -> Region:
+    """Normalise any supported predicate representation to a region.
+
+    The canonical scalar-path normaliser: raw hyperrectangles are clipped
+    to the domain, regions pass through (dimension-checked), predicates
+    lower via :meth:`Predicate.to_region`.  The batch path
+    (:func:`lower_batch`) mirrors these semantics on raw bounds.
+    """
+    if isinstance(predicate, Region):
+        if predicate.dimension != domain.dimension:
+            raise EstimatorError("predicate dimension does not match the domain")
+        return predicate
+    if isinstance(predicate, Hyperrectangle):
+        if predicate.dimension != domain.dimension:
+            raise EstimatorError("predicate dimension does not match the domain")
+        clipped = predicate.intersection(domain)
+        if clipped is None:
+            return Region.empty(domain.dimension)
+        return Region.from_box(clipped)
+    if isinstance(predicate, Predicate):
+        return predicate.to_region(domain)
+    raise EstimatorError(
+        f"unsupported predicate type {type(predicate).__name__}"
+    )
+
+
+def lower_batch(
+    predicates: Sequence["Predicate | Hyperrectangle | Region"],
+    domain: Hyperrectangle,
+) -> tuple[list[np.ndarray], list[np.ndarray], list[int]]:
+    """Lower a batch of predicates to raw per-piece bounds in one pass.
+
+    Returns ``(piece_lower, piece_upper, owners)`` where each entry of the
+    first two lists is a ``(d,)`` corner vector of one disjoint predicate
+    piece and ``owners[i]`` is the index of the predicate the piece came
+    from (predicates whose footprint inside ``domain`` is empty contribute
+    no pieces).  Box-shaped predicates skip
+    :class:`~repro.core.region.Region` construction entirely, which is
+    what makes batched estimation cheap; everything else falls back to
+    :meth:`Predicate.to_region`.
+
+    Error parity with the scalar estimation path
+    (:func:`repro.estimators.base.as_region`): raw-geometry dimension
+    mismatches and unsupported input types raise
+    :class:`~repro.exceptions.EstimatorError`; malformed predicate trees
+    surface whatever :meth:`Predicate.to_region` raises
+    (:class:`~repro.exceptions.PredicateError`) in both paths.
+    """
+    piece_lower: list[np.ndarray] = []
+    piece_upper: list[np.ndarray] = []
+    owners: list[int] = []
+    for index, predicate in enumerate(predicates):
+        if isinstance(predicate, BoxPredicate):
+            bounds = predicate.to_bounds_array(domain)
+            piece_lower.append(bounds[:, 0])
+            piece_upper.append(bounds[:, 1])
+            owners.append(index)
+            continue
+        if isinstance(predicate, Hyperrectangle):
+            if predicate.dimension != domain.dimension:
+                raise EstimatorError(
+                    "predicate dimension does not match the domain"
+                )
+            lower = np.maximum(predicate.lower, domain.lower)
+            upper = np.minimum(predicate.upper, domain.upper)
+            if (lower <= upper).all():
+                piece_lower.append(lower)
+                piece_upper.append(upper)
+                owners.append(index)
+            continue
+        if isinstance(predicate, Region):
+            if predicate.dimension != domain.dimension:
+                raise EstimatorError(
+                    "predicate dimension does not match the domain"
+                )
+            boxes = predicate.boxes
+        elif isinstance(predicate, Predicate):
+            boxes = predicate.to_region(domain).boxes
+        else:
+            raise EstimatorError(
+                f"unsupported predicate type {type(predicate).__name__}"
+            )
+        for box in boxes:
+            piece_lower.append(box.lower)
+            piece_upper.append(box.upper)
+            owners.append(index)
+    return piece_lower, piece_upper, owners

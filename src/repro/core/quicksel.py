@@ -27,11 +27,10 @@ import numpy as np
 from repro.core.config import QuickSelConfig
 from repro.core.geometry import Hyperrectangle
 from repro.core.mixture import UniformMixtureModel
-from repro.core.predicate import Predicate
+from repro.core.predicate import Predicate, as_region, lower_batch
 from repro.core.region import Region
 from repro.core.subpopulation import SubpopulationBuilder
 from repro.core.training import ObservedQuery, build_problem, solve
-from repro.exceptions import EstimatorError, TrainingError
 
 __all__ = ["QuickSel", "RefitStats"]
 
@@ -140,9 +139,19 @@ class QuickSel:
         feedback: Sequence[tuple[Predicate | Hyperrectangle | Region, float]],
         refit: bool = False,
     ) -> None:
-        """Record a batch of feedback pairs."""
-        for predicate, selectivity in feedback:
-            self.observe(predicate, selectivity, refit=False)
+        """Record a batch of feedback pairs.
+
+        The whole batch is converted and appended in one pass with a
+        single staleness flip, rather than dispatching through
+        :meth:`observe` per pair.
+        """
+        converted = [
+            ObservedQuery(region=self._as_region(predicate), selectivity=selectivity)
+            for predicate, selectivity in feedback
+        ]
+        if converted:
+            self._queries.extend(converted)
+            self._stale = True
         if refit:
             self.refit()
 
@@ -197,32 +206,33 @@ class QuickSel:
         region = self._as_region(predicate)
         return self._model.estimate(region)
 
+    def estimate_many(
+        self, predicates: Sequence[Predicate | Hyperrectangle | Region]
+    ) -> np.ndarray:
+        """Estimate selectivities for a batch of predicates at once.
+
+        Elementwise equivalent to calling :meth:`estimate` in a loop, but
+        the staleness check runs once, box-shaped predicates are lowered
+        straight to raw bounds (no per-predicate ``Region`` construction),
+        and all pieces are evaluated through a single vectorised
+        intersection kernel — the fast path behind the serving layer's
+        ``estimate_batch``.
+        """
+        if self._stale or self._model is None:
+            self.refit()
+        assert self._model is not None
+        piece_lower, piece_upper, owners = lower_batch(predicates, self._domain)
+        return self._model.estimate_from_bounds(
+            piece_lower, piece_upper, owners, len(predicates)
+        )
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _as_region(
         self, predicate: Predicate | Hyperrectangle | Region
     ) -> Region:
-        if isinstance(predicate, Region):
-            if predicate.dimension != self._domain.dimension:
-                raise EstimatorError(
-                    "predicate dimension does not match the domain"
-                )
-            return predicate
-        if isinstance(predicate, Hyperrectangle):
-            if predicate.dimension != self._domain.dimension:
-                raise EstimatorError(
-                    "predicate dimension does not match the domain"
-                )
-            clipped = predicate.intersection(self._domain)
-            if clipped is None:
-                return Region.empty(self._domain.dimension)
-            return Region.from_box(clipped)
-        if isinstance(predicate, Predicate):
-            return predicate.to_region(self._domain)
-        raise EstimatorError(
-            f"unsupported predicate type {type(predicate).__name__}"
-        )
+        return as_region(predicate, self._domain)
 
     def __repr__(self) -> str:
         return (

@@ -5,6 +5,19 @@ the paper: the executor computes the actual selectivity of every filter it
 runs; the loop stores that observation in the catalog and forwards it to
 any query-driven estimators registered for the table, so their models keep
 improving as the workload runs — the "selectivity learning" loop.
+
+Feedback can flow to two kinds of consumers:
+
+* a bare estimator (:meth:`FeedbackLoop.register_estimator`), which is
+  observed directly — the seed behaviour, still used by the experiment
+  harness; or
+* a :class:`~repro.serving.service.SelectivityService`
+  (:meth:`FeedbackLoop.register_service`), which accumulates the feedback
+  behind its refit policy and republishes model snapshots in the
+  background.  This is how the mini-DBMS exercises the serving layer end
+  to end: the returned :class:`~repro.serving.adapter.ServingEstimator`
+  plugs straight into the optimizer, so plan costing, feedback, and
+  retraining all route through the service.
 """
 
 from __future__ import annotations
@@ -16,6 +29,9 @@ from repro.engine.catalog import Catalog
 from repro.engine.executor import Executor
 from repro.estimators.base import QueryDrivenEstimator
 from repro.core.quicksel import QuickSel
+from repro.exceptions import ServingError
+from repro.serving.adapter import ServingEstimator
+from repro.serving.service import SelectivityService
 
 __all__ = ["FeedbackLoop"]
 
@@ -39,6 +55,36 @@ class FeedbackLoop:
     ) -> None:
         """Subscribe an estimator to feedback from queries on ``table_name``."""
         self._estimators.setdefault(table_name, []).append(estimator)
+
+    def register_service(
+        self,
+        table_name: str,
+        service: SelectivityService,
+        trainer: QuickSel | None = None,
+        columns: Sequence[str] = (),
+    ) -> ServingEstimator:
+        """Route this table's feedback through a selectivity service.
+
+        If ``trainer`` is given, it is first registered with the service
+        under ``(table_name, columns)``; otherwise the key must already
+        exist in the service.  Returns the
+        :class:`~repro.serving.adapter.ServingEstimator` adapter for the
+        key so callers can hand the served model to the optimizer.
+        """
+        if trainer is not None:
+            key = service.register_model(table_name, trainer, columns=columns)
+        else:
+            key = service.key_for(table_name, columns)
+            if key not in service.model_keys():
+                # A snapshot in a shared registry is not enough: the
+                # feedback path needs this service to own a trainer.
+                raise ServingError(
+                    f"service owns no trainer for key {key}; pass trainer= "
+                    "or call service.register_model() first"
+                )
+        adapter = ServingEstimator(service, key)
+        self.register_estimator(table_name, adapter)
+        return adapter
 
     def estimators_for(self, table_name: str) -> Sequence[LearningEstimator]:
         """Estimators currently subscribed to a table."""

@@ -15,10 +15,17 @@ The optimizer asks a :class:`~repro.estimators.base.SelectivityEstimator`
 for the predicate's selectivity, prices both paths, and picks the cheaper;
 ``plan_with_true_selectivity`` provides the oracle plan so experiments can
 count how often an estimator leads the optimizer astray.
+
+Plan enumeration issues selectivity probes in bursts — one per candidate
+predicate — so :meth:`AccessPathOptimizer.plan_many` resolves a whole
+burst with a single ``estimate_many`` call.  Handing the optimizer a
+:class:`~repro.serving.adapter.ServingEstimator` routes those probes
+through the serving layer's snapshot, cache, and vectorised batch path.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.predicate import BoxPredicate, Predicate
@@ -116,6 +123,20 @@ class AccessPathOptimizer:
         """Pick the cheaper access path using the estimator's selectivity."""
         selectivity = self._estimator.estimate(predicate)
         return self._plan_with(predicate, selectivity)
+
+    def plan_many(self, predicates: Sequence[Predicate]) -> list[PlanChoice]:
+        """Plan a burst of candidate predicates with one batched probe.
+
+        All selectivities are fetched through the estimator's
+        ``estimate_many`` (one vectorised call — and, behind a serving
+        adapter, one consistent model version) instead of one scalar
+        probe per candidate.
+        """
+        selectivities = self._estimator.estimate_many(predicates)
+        return [
+            self._plan_with(predicate, float(selectivity))
+            for predicate, selectivity in zip(predicates, selectivities)
+        ]
 
     def plan_with_true_selectivity(
         self, predicate: Predicate, true_selectivity: float

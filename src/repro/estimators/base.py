@@ -22,7 +22,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.core.geometry import Hyperrectangle
-from repro.core.predicate import Predicate
+from repro.core.predicate import Predicate, as_region
 from repro.core.region import Region
 from repro.exceptions import EstimatorError
 
@@ -32,29 +32,11 @@ __all__ = [
     "SelectivityEstimator",
     "QueryDrivenEstimator",
     "ScanBasedEstimator",
-    "as_region",
+    "as_region",  # canonical home: repro.core.predicate; re-exported
 ]
 
 PredicateLike = Predicate | Hyperrectangle | Region
 DataSource = Callable[[], np.ndarray]
-
-
-def as_region(predicate: PredicateLike, domain: Hyperrectangle) -> Region:
-    """Normalise any supported predicate representation to a region."""
-    if isinstance(predicate, Region):
-        if predicate.dimension != domain.dimension:
-            raise EstimatorError("predicate dimension does not match the domain")
-        return predicate
-    if isinstance(predicate, Hyperrectangle):
-        if predicate.dimension != domain.dimension:
-            raise EstimatorError("predicate dimension does not match the domain")
-        clipped = predicate.intersection(domain)
-        if clipped is None:
-            return Region.empty(domain.dimension)
-        return Region.from_box(clipped)
-    if isinstance(predicate, Predicate):
-        return predicate.to_region(domain)
-    raise EstimatorError(f"unsupported predicate type {type(predicate).__name__}")
 
 
 class SelectivityEstimator(abc.ABC):
@@ -79,6 +61,15 @@ class SelectivityEstimator(abc.ABC):
     @abc.abstractmethod
     def estimate(self, predicate: PredicateLike) -> float:
         """Return the estimated selectivity of ``predicate`` in ``[0, 1]``."""
+
+    def estimate_many(self, predicates: Sequence[PredicateLike]) -> np.ndarray:
+        """Estimate a batch of predicates; elementwise equal to :meth:`estimate`.
+
+        The default simply loops, so every baseline supports the batch
+        API of the serving layer; estimators with a vectorised path
+        (:meth:`repro.core.quicksel.QuickSel.estimate_many`) override it.
+        """
+        return np.array([self.estimate(predicate) for predicate in predicates])
 
     def _region(self, predicate: PredicateLike) -> Region:
         return as_region(predicate, self._domain)

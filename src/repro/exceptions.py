@@ -17,6 +17,7 @@ __all__ = [
     "EstimatorError",
     "WorkloadError",
     "ExperimentError",
+    "ServingError",
 ]
 
 
@@ -54,3 +55,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class ServingError(ReproError):
+    """The serving layer was misused (unknown model key, bad registration)."""

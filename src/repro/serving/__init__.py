@@ -1,0 +1,47 @@
+"""The selectivity-estimation serving layer.
+
+The seed reproduction served every estimate as a blocking scalar call on
+a mutable estimator; this package turns the observe → refit → estimate
+loop into a small production-shaped subsystem:
+
+* :mod:`repro.serving.snapshot` — immutable, versioned model snapshots,
+* :mod:`repro.serving.registry` — per-``(table, columns)`` snapshot
+  registry with atomic hot-swap on publish,
+* :mod:`repro.serving.cache` — version-scoped LRU result cache,
+* :mod:`repro.serving.policy` — count- and drift-based refit triggers,
+* :mod:`repro.serving.scheduler` — background (or inline) refit execution,
+* :mod:`repro.serving.stats` — hit rate, latency percentiles, refit
+  counters,
+* :mod:`repro.serving.service` — the :class:`SelectivityService`
+  front-end tying it all together (``estimate`` / ``estimate_batch`` /
+  ``observe``),
+* :mod:`repro.serving.adapter` — a
+  :class:`~repro.estimators.base.SelectivityEstimator`-protocol view so
+  the engine's optimizer and feedback loop use the service unchanged.
+
+Batch-API contract: ``estimate_batch`` answers every predicate from one
+snapshot version and matches per-predicate ``estimate`` to < 1e-9.
+"""
+
+from repro.serving.adapter import ServingEstimator
+from repro.serving.cache import EstimateCache, predicate_cache_key
+from repro.serving.policy import RefitDecision, RefitPolicy
+from repro.serving.registry import EstimatorRegistry, ModelKey
+from repro.serving.scheduler import RefitScheduler
+from repro.serving.service import SelectivityService
+from repro.serving.snapshot import ModelSnapshot
+from repro.serving.stats import ServingStats
+
+__all__ = [
+    "ModelSnapshot",
+    "ModelKey",
+    "EstimatorRegistry",
+    "EstimateCache",
+    "predicate_cache_key",
+    "RefitPolicy",
+    "RefitDecision",
+    "RefitScheduler",
+    "ServingStats",
+    "SelectivityService",
+    "ServingEstimator",
+]

@@ -1,0 +1,73 @@
+"""Estimator-protocol adapter over the serving layer.
+
+:class:`ServingEstimator` lets every existing consumer of the
+:class:`~repro.estimators.base.SelectivityEstimator` protocol — the
+access-path optimizer, the join estimator, the experiment harness — talk
+to a :class:`~repro.serving.service.SelectivityService` without knowing
+it exists.  ``estimate``/``estimate_many`` read through the service's
+snapshot + cache; ``observe`` feeds the service's learning loop, so the
+adapter also satisfies the
+:class:`~repro.estimators.base.QueryDrivenEstimator` contract and plugs
+straight into :class:`~repro.engine.feedback.FeedbackLoop`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.estimators.base import PredicateLike, QueryDrivenEstimator
+from repro.serving.registry import ModelKey
+from repro.serving.service import SelectivityService
+
+__all__ = ["ServingEstimator"]
+
+
+class ServingEstimator(QueryDrivenEstimator):
+    """A :class:`SelectivityService` model key seen as a plain estimator."""
+
+    name = "QuickSel@serving"
+
+    def __init__(self, service: SelectivityService, key: ModelKey) -> None:
+        super().__init__(service.snapshot_for(key).domain)
+        self._service = service
+        self._key = key
+
+    @property
+    def service(self) -> SelectivityService:
+        """The backing service."""
+        return self._service
+
+    @property
+    def key(self) -> ModelKey:
+        """The model key this adapter serves."""
+        return self._key
+
+    @property
+    def parameter_count(self) -> int:
+        """Parameters of the currently served snapshot (0 at bootstrap)."""
+        model = self._service.snapshot_for(self._key).model
+        return 0 if model is None else model.parameter_count
+
+    @property
+    def version(self) -> int:
+        """The snapshot version estimates are currently served from."""
+        return self._service.snapshot_for(self._key).version
+
+    def estimate(self, predicate: PredicateLike) -> float:
+        return self._service.estimate(self._key, predicate)
+
+    def estimate_many(self, predicates: Sequence[PredicateLike]) -> np.ndarray:
+        return self._service.estimate_batch(self._key, predicates)
+
+    def observe(self, predicate: PredicateLike, selectivity: float) -> None:
+        self._service.observe(self._key, predicate, selectivity)
+
+    @property
+    def observed_count(self) -> int:
+        """Feedback count absorbed by the underlying trainer."""
+        return self._service.feedback_count(self._key)
+
+    def __repr__(self) -> str:
+        return f"ServingEstimator(key={self._key}, version={self.version})"

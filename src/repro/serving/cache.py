@@ -1,0 +1,137 @@
+"""LRU result cache for served selectivity estimates.
+
+Query optimizers re-probe the same predicates many times during plan
+enumeration, so the service memoises ``(model key, model version,
+predicate) -> estimate``.  Two design points:
+
+* **Version-scoped keys.**  The model version is part of the cache key,
+  so a hot-swap can never serve a stale estimate even if invalidation
+  races with a read.  Explicit :meth:`EstimateCache.invalidate` is still
+  called on every publish to evict the dead version's entries promptly
+  instead of letting them age out of the LRU.
+* **Structural predicate keys.**  :func:`predicate_cache_key` derives a
+  hashable token from the predicate's structure (constraint dims and
+  bounds) without lowering it to geometry, so a cache *hit* costs a dict
+  lookup, not a region construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import (
+    BoxPredicate,
+    Conjunction,
+    Constraint,
+    Disjunction,
+    EqualityConstraint,
+    Negation,
+    Predicate,
+    RangeConstraint,
+    TruePredicate,
+)
+from repro.core.region import Region
+from repro.exceptions import ServingError
+
+__all__ = ["EstimateCache", "predicate_cache_key"]
+
+
+def _constraint_key(constraint: Constraint) -> Hashable:
+    if isinstance(constraint, RangeConstraint):
+        return ("r", constraint.dim, constraint.low, constraint.high)
+    if isinstance(constraint, EqualityConstraint):
+        return ("e", constraint.dim, constraint.value, constraint.width)
+    # An unknown subclass has no field set we can key on structurally, and
+    # a repr/id-based key could collide after address reuse — refuse
+    # rather than risk serving another predicate's estimate.
+    raise ServingError(
+        f"cannot build a cache key for constraint type "
+        f"{type(constraint).__name__}"
+    )
+
+
+def predicate_cache_key(predicate: Predicate | Hyperrectangle | Region) -> Hashable:
+    """A hashable token such that equal tokens imply equal estimates.
+
+    The token mirrors the predicate's syntax tree; two syntactically
+    different spellings of the same predicate may get different tokens
+    (costing only a duplicate cache entry, never a wrong answer).
+    """
+    if isinstance(predicate, Hyperrectangle):
+        return ("H", predicate.bounds.tobytes())
+    if isinstance(predicate, Region):
+        return ("R", tuple(box.bounds.tobytes() for box in predicate.boxes))
+    if isinstance(predicate, BoxPredicate):
+        return ("B", tuple(_constraint_key(c) for c in predicate.constraints))
+    if isinstance(predicate, TruePredicate):
+        return ("T",)
+    if isinstance(predicate, Conjunction):
+        return ("A", tuple(predicate_cache_key(c) for c in predicate.children))
+    if isinstance(predicate, Disjunction):
+        return ("O", tuple(predicate_cache_key(c) for c in predicate.children))
+    if isinstance(predicate, Negation):
+        return ("N", predicate_cache_key(predicate.child))
+    raise ServingError(
+        f"cannot build a cache key for {type(predicate).__name__}"
+    )
+
+
+class EstimateCache:
+    """A thread-safe LRU cache of selectivity estimates."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ServingError("cache capacity must be at least 1")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, float]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached estimates."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> float | None:
+        """Return the cached estimate, refreshing its recency; None on miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: float) -> None:
+        """Insert an estimate, evicting the least recently used if full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, model_key: object) -> int:
+        """Drop every entry belonging to ``model_key`` (on hot-swap).
+
+        Cache keys are ``(model_key, version, predicate_token)`` tuples;
+        this removes all versions for the model.  Returns the number of
+        evicted entries.
+        """
+        with self._lock:
+            dead = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == model_key
+            ]
+            for key in dead:
+                del self._entries[key]
+            return len(dead)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        with self._lock:
+            self._entries.clear()

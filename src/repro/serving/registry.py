@@ -1,0 +1,166 @@
+"""The registry of served models: versioned snapshots with atomic hot-swap.
+
+:class:`EstimatorRegistry` maps a :class:`ModelKey` — the ``(table,
+columns)`` pair a model covers — to its *current*
+:class:`~repro.serving.snapshot.ModelSnapshot`.  Publication replaces the
+snapshot in one assignment under a lock, so readers either see the old
+version or the new one, never a half-trained model; versions increase by
+exactly one per publish.  Listeners (the service's result cache, metrics)
+are notified after every swap.
+
+The registry holds *only* immutable snapshots.  The mutable trainer (a
+:class:`~repro.core.quicksel.QuickSel` accumulating feedback) lives in the
+service layer; training happens off to the side and its finished model is
+published here.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.mixture import UniformMixtureModel
+from repro.exceptions import ServingError
+from repro.serving.snapshot import ModelSnapshot
+
+__all__ = ["ModelKey", "EstimatorRegistry"]
+
+PublishListener = Callable[["ModelKey", ModelSnapshot], None]
+
+
+@dataclass(frozen=True, order=True)
+class ModelKey:
+    """Identity of one served model: a table and the columns it covers.
+
+    An empty ``columns`` tuple means "all columns of the table" (the
+    common whole-table model).
+    """
+
+    table: str
+    columns: tuple[str, ...] = field(default=())
+
+    def __str__(self) -> str:
+        if not self.columns:
+            return self.table
+        return f"{self.table}({', '.join(self.columns)})"
+
+
+class EstimatorRegistry:
+    """Thread-safe mapping from model keys to immutable model snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._snapshots: dict[ModelKey, ModelSnapshot] = {}
+        self._listeners: list[PublishListener] = []
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+    def register(self, key: ModelKey, domain: Hyperrectangle) -> ModelSnapshot:
+        """Install the bootstrap (version 0, uniform) snapshot for ``key``.
+
+        Idempotent: re-registering an existing key returns its current
+        snapshot unchanged, so registration never rolls a model back.
+        """
+        with self._lock:
+            existing = self._snapshots.get(key)
+            if existing is not None:
+                if existing.domain is not domain and existing.domain != domain:
+                    raise ServingError(
+                        f"model key {key} is already registered with a "
+                        "different domain"
+                    )
+                return existing
+            snapshot = ModelSnapshot(version=0, domain=domain, model=None)
+            self._snapshots[key] = snapshot
+            return snapshot
+
+    def current(self, key: ModelKey) -> ModelSnapshot:
+        """The snapshot currently serving ``key`` (raises if unknown)."""
+        with self._lock:
+            try:
+                return self._snapshots[key]
+            except KeyError as error:
+                raise ServingError(
+                    f"no model registered for key {key}; "
+                    f"known keys: {sorted(map(str, self._snapshots))}"
+                ) from error
+
+    def version(self, key: ModelKey) -> int:
+        """Current version number for ``key``."""
+        return self.current(key).version
+
+    def keys(self) -> Sequence[ModelKey]:
+        """All registered model keys."""
+        with self._lock:
+            return tuple(self._snapshots)
+
+    def __contains__(self, key: ModelKey) -> bool:
+        with self._lock:
+            return key in self._snapshots
+
+    # ------------------------------------------------------------------
+    # Publication (the hot-swap)
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        key: ModelKey,
+        model: UniformMixtureModel,
+        trained_on: int,
+    ) -> ModelSnapshot:
+        """Atomically swap in a freshly trained model as the next version.
+
+        The new snapshot's version is exactly ``current + 1``; the swap is
+        a single dict assignment under the registry lock, so concurrent
+        readers always observe a complete snapshot.  Publish listeners run
+        after the swap (outside the critical work of the swap itself) and
+        receive the new snapshot.
+        """
+        if model is None:
+            raise ServingError("cannot publish an empty model")
+        with self._lock:
+            current = self._snapshots.get(key)
+            if current is None:
+                raise ServingError(
+                    f"cannot publish to unregistered key {key}; "
+                    "call register() first"
+                )
+            snapshot = ModelSnapshot(
+                version=current.version + 1,
+                domain=current.domain,
+                model=model,
+                trained_on=trained_on,
+            )
+            self._snapshots[key] = snapshot
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(key, snapshot)
+        return snapshot
+
+    def add_listener(self, listener: PublishListener) -> None:
+        """Invoke ``listener(key, snapshot)`` after every publish."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: PublishListener) -> None:
+        """Detach a publish listener (no-op if it was never registered).
+
+        Long-lived shared registries must detach the listeners of
+        discarded services (see
+        :meth:`repro.serving.service.SelectivityService.close`) or they
+        keep those services reachable forever.
+        """
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:
+        with self._lock:
+            parts = ", ".join(
+                f"{key}=v{snap.version}" for key, snap in self._snapshots.items()
+            )
+        return f"EstimatorRegistry({parts})"

@@ -1,0 +1,384 @@
+"""The selectivity-serving front-end.
+
+:class:`SelectivityService` is what the engine (and any outside client)
+talks to.  It composes the rest of the subsystem:
+
+* reads — :meth:`SelectivityService.estimate` and
+  :meth:`SelectivityService.estimate_batch` resolve the current
+  :class:`~repro.serving.snapshot.ModelSnapshot` from the
+  :class:`~repro.serving.registry.EstimatorRegistry`, consult the
+  version-scoped :class:`~repro.serving.cache.EstimateCache`, and evaluate
+  misses against the immutable snapshot (batch misses through one
+  vectorised kernel call).  Reads never block on training.
+* writes — :meth:`SelectivityService.observe` appends feedback to the
+  model's mutable trainer, tracks the served-vs-true error, and asks the
+  :class:`~repro.serving.policy.RefitPolicy` whether a refit is due; due
+  refits run on the :class:`~repro.serving.scheduler.RefitScheduler`
+  (background by default) and publish a fresh snapshot version, which
+  invalidates the cache for that model.
+* metrics — every call is recorded on a
+  :class:`~repro.serving.stats.ServingStats`.
+
+The batch-API contract: ``estimate_batch(table, predicates)`` returns an
+``np.ndarray`` elementwise equal (to < 1e-9) to calling ``estimate`` per
+predicate against the *same* snapshot version, in input order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import Predicate
+from repro.core.quicksel import QuickSel
+from repro.core.region import Region
+from repro.exceptions import ServingError
+from repro.serving.cache import EstimateCache, predicate_cache_key
+from repro.serving.policy import RefitPolicy
+from repro.serving.registry import EstimatorRegistry, ModelKey
+from repro.serving.scheduler import RefitScheduler
+from repro.serving.snapshot import ModelSnapshot
+from repro.serving.stats import ServingStats
+
+__all__ = ["SelectivityService"]
+
+PredicateLike = Predicate | Hyperrectangle | Region
+
+
+class _ServedModel:
+    """Mutable per-key state: the trainer and its feedback bookkeeping."""
+
+    __slots__ = ("key", "trainer", "lock", "pending", "errors")
+
+    def __init__(self, key: ModelKey, trainer: QuickSel, error_window: int) -> None:
+        self.key = key
+        self.trainer = trainer
+        self.lock = threading.RLock()
+        self.pending = 0
+        self.errors: deque[float] = deque(maxlen=error_window)
+
+
+class SelectivityService:
+    """Versioned, cached, batch-capable selectivity estimation service."""
+
+    def __init__(
+        self,
+        registry: EstimatorRegistry | None = None,
+        cache: EstimateCache | None = None,
+        policy: RefitPolicy | None = None,
+        scheduler: RefitScheduler | None = None,
+        stats: ServingStats | None = None,
+    ) -> None:
+        self._registry = registry or EstimatorRegistry()
+        self._cache = cache or EstimateCache()
+        self._policy = policy or RefitPolicy()
+        self._owns_scheduler = scheduler is None
+        self._scheduler = scheduler or RefitScheduler()
+        self._stats = stats or ServingStats()
+        self._served: dict[ModelKey, _ServedModel] = {}
+        self._lock = threading.RLock()
+        self._registry.add_listener(self._on_publish)
+
+    # ------------------------------------------------------------------
+    # Composition surface
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> EstimatorRegistry:
+        """The snapshot registry this service serves from."""
+        return self._registry
+
+    @property
+    def cache(self) -> EstimateCache:
+        """The shared estimate result cache."""
+        return self._cache
+
+    @property
+    def policy(self) -> RefitPolicy:
+        """The refit-trigger policy."""
+        return self._policy
+
+    @property
+    def scheduler(self) -> RefitScheduler:
+        """The refit scheduler (inline or background)."""
+        return self._scheduler
+
+    @property
+    def stats(self) -> ServingStats:
+        """Operational metrics for this service."""
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        table: str,
+        trainer: QuickSel,
+        columns: Sequence[str] = (),
+    ) -> ModelKey:
+        """Put a QuickSel trainer behind a ``(table, columns)`` model key.
+
+        The registry immediately serves either the trainer's existing
+        model (published as version 1) or the uniform bootstrap snapshot
+        (version 0) if the trainer has not been fitted yet.  The trainer
+        object becomes service-owned: feed it feedback only through
+        :meth:`observe` from now on.
+        """
+        key = self._key(table, columns)
+        # Reject duplicates before touching the trainer: re-registering a
+        # served key must not refit anything (the key's existing trainer
+        # may be mid-refit under its own lock).  The insert below
+        # re-checks under the lock for the register/register race.
+        with self._lock:
+            if key in self._served:
+                raise ServingError(f"model key {key} is already registered")
+        # A trainer carrying feedback its model has not absorbed (no model
+        # yet, or observations recorded after the last refit) is refitted
+        # first — otherwise that backlog would serve stale/uniform
+        # estimates until fresh traffic filled the refit policy's
+        # triggers.  Refitting before touching any shared state means a
+        # failed refit leaves nothing registered, so the call can simply
+        # be retried.
+        fitted_on = (
+            0 if trainer.last_refit is None
+            else trainer.last_refit.observed_queries
+        )
+        if trainer.observed_count > fitted_on:
+            trainer.refit()
+        with self._lock:
+            if key in self._served:
+                raise ServingError(f"model key {key} is already registered")
+            error_window = max(
+                self._policy.drift_window, self._policy.min_drift_observations
+            )
+            self._registry.register(key, trainer.domain)
+            served = _ServedModel(key, trainer, error_window)
+            self._served[key] = served
+        # Same discipline as _refit: publish only under the served model's
+        # lock so an initial publish cannot interleave with a refit's.
+        with served.lock:
+            if trainer.model is not None:
+                self._registry.publish(
+                    key, trainer.model, trainer.last_refit.observed_queries
+                )
+        return key
+
+    def key_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> ModelKey:
+        """Normalise ``(table, columns)`` to the :class:`ModelKey` it names."""
+        return self._key(table, columns)
+
+    def model_keys(self) -> Sequence[ModelKey]:
+        """All model keys this service owns a trainer for."""
+        with self._lock:
+            return tuple(self._served)
+
+    def snapshot_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> ModelSnapshot:
+        """The snapshot currently serving a key (metrics/debug surface)."""
+        return self._registry.current(self._key(table, columns))
+
+    def feedback_count(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> int:
+        """Total observations absorbed by a key's trainer (incl. unpublished)."""
+        served = self._served_model(self._key(table, columns))
+        with served.lock:
+            return served.trainer.observed_count
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        table: str | ModelKey,
+        predicate: PredicateLike,
+        columns: Sequence[str] = (),
+    ) -> float:
+        """Estimate one predicate's selectivity from the current snapshot."""
+        key = self._key(table, columns)
+        start = time.perf_counter()
+        snapshot = self._registry.current(key)
+        value, hit = self._estimate_cached(key, snapshot, predicate)
+        self._stats.record_estimate(time.perf_counter() - start, hit)
+        return value
+
+    def estimate_batch(
+        self,
+        table: str | ModelKey,
+        predicates: Sequence[PredicateLike],
+        columns: Sequence[str] = (),
+    ) -> np.ndarray:
+        """Estimate a burst of predicates against one snapshot version.
+
+        All predicates are answered by the *same* model version (resolved
+        once at entry).  Cache hits are filled directly; all misses are
+        evaluated in a single vectorised pass and then cached.
+        """
+        key = self._key(table, columns)
+        start = time.perf_counter()
+        snapshot = self._registry.current(key)
+        results = np.empty(len(predicates))
+        miss_indices: list[int] = []
+        miss_predicates: list[PredicateLike] = []
+        miss_keys = []
+        for index, predicate in enumerate(predicates):
+            cache_key = self._cache_key(key, snapshot, predicate)
+            cached = None if cache_key is None else self._cache.get(cache_key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                miss_indices.append(index)
+                miss_predicates.append(predicate)
+                miss_keys.append(cache_key)
+        if miss_predicates:
+            values = snapshot.estimate_many(miss_predicates)
+            for index, cache_key, value in zip(miss_indices, miss_keys, values):
+                value = float(value)
+                results[index] = value
+                if cache_key is not None:
+                    self._cache.put(cache_key, value)
+        self._stats.record_batch(
+            len(predicates),
+            len(predicates) - len(miss_predicates),
+            time.perf_counter() - start,
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # Writes (the learning loop)
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        table: str | ModelKey,
+        predicate: PredicateLike,
+        selectivity: float,
+        columns: Sequence[str] = (),
+    ) -> bool:
+        """Record engine feedback and maybe trigger a background refit.
+
+        Returns True if this observation triggered a refit submission
+        (which may itself be coalesced into an already-pending one).
+        """
+        key = self._key(table, columns)
+        served = self._served_model(key)
+        snapshot = self._registry.current(key)
+        served_estimate, _ = self._estimate_cached(key, snapshot, predicate)
+        with served.lock:
+            served.trainer.observe(predicate, selectivity)
+            served.pending += 1
+            served.errors.append(abs(served_estimate - selectivity))
+            decision = self._policy.decide(served.pending, served.errors)
+        self._stats.record_observation()
+        if not decision:
+            return False
+        self._stats.record_refit_triggered()
+        self._scheduler.submit(key, lambda: self._refit(key))
+        return True
+
+    def refit_now(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> ModelSnapshot:
+        """Retrain synchronously on the caller's thread and publish."""
+        key = self._key(table, columns)
+        self._refit(key)
+        return self._registry.current(key)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Wait for all in-flight background refits to finish."""
+        self._scheduler.drain(timeout)
+
+    def close(self) -> None:
+        """Release the service: detach from the registry, stop the scheduler.
+
+        Required when the registry (or scheduler) outlives this service —
+        e.g. several services sharing one registry — since the publish
+        listener registered at construction would otherwise keep the
+        service (cache, trainers, stats) reachable for the registry's
+        lifetime.  A scheduler injected by the caller is left running
+        (other services may share it); only a service-created scheduler
+        is shut down.  The service must not be used afterwards.
+        """
+        self._registry.remove_listener(self._on_publish)
+        if self._owns_scheduler:
+            self._scheduler.shutdown()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _key(self, table: str | ModelKey, columns: Sequence[str]) -> ModelKey:
+        if isinstance(table, ModelKey):
+            if columns:
+                raise ServingError("pass columns via the ModelKey, not both")
+            return table
+        return ModelKey(table=table, columns=tuple(columns))
+
+    def _served_model(self, key: ModelKey) -> _ServedModel:
+        with self._lock:
+            try:
+                return self._served[key]
+            except KeyError as error:
+                raise ServingError(
+                    f"no trainer registered for key {key}; "
+                    "call register_model() first"
+                ) from error
+
+    def _cache_key(
+        self, key: ModelKey, snapshot: ModelSnapshot, predicate: PredicateLike
+    ) -> tuple | None:
+        """The cache key for a predicate, or None if it has no stable key.
+
+        Custom :class:`~repro.core.predicate.Predicate`/``Constraint``
+        subclasses are estimable (via ``to_region``) but not structurally
+        keyable; they are served uncached rather than rejected.
+        """
+        try:
+            return (key, snapshot.version, predicate_cache_key(predicate))
+        except ServingError:
+            return None
+
+    def _estimate_cached(
+        self, key: ModelKey, snapshot: ModelSnapshot, predicate: PredicateLike
+    ) -> tuple[float, bool]:
+        cache_key = self._cache_key(key, snapshot, predicate)
+        if cache_key is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return cached, True
+        value = float(snapshot.estimate(predicate))
+        if cache_key is not None:
+            self._cache.put(cache_key, value)
+        return value, False
+
+    def _refit(self, key: ModelKey) -> None:
+        served = self._served_model(key)
+        # The publish happens under the same lock as the training so two
+        # concurrent refits for one key (background worker + refit_now)
+        # cannot publish out of order and leave a staler model as the
+        # highest version.
+        with served.lock:
+            stats = served.trainer.refit()
+            model = served.trainer.model
+            assert model is not None
+            served.pending = 0
+            served.errors.clear()
+            self._registry.publish(key, model, stats.observed_queries)
+        self._stats.record_refit_completed()
+
+    def _on_publish(self, key: ModelKey, snapshot: ModelSnapshot) -> None:
+        # Version-scoped keys already guarantee correctness; eager
+        # invalidation just frees the dead version's cache space.
+        self._cache.invalidate(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectivityService(models={len(self._served)}, "
+            f"scheduler={self._scheduler.mode!r})"
+        )

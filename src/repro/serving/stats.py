@@ -1,0 +1,128 @@
+"""Operational metrics for the serving layer.
+
+:class:`ServingStats` is a small thread-safe metrics surface: request and
+cache counters, refit counts, and a bounded reservoir of per-request
+latencies from which p50/p99 are computed on demand.  It deliberately has
+no external dependencies — :meth:`ServingStats.snapshot` returns a plain
+dict that callers can ship to whatever metrics system they run.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import ServingError
+
+__all__ = ["ServingStats"]
+
+
+class ServingStats:
+    """Counters and latency percentiles for a :class:`SelectivityService`."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        if latency_window < 1:
+            raise ServingError("latency_window must be at least 1")
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self.estimate_requests = 0
+        self.batch_requests = 0
+        self.predicates_served = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.observations = 0
+        self.refits_triggered = 0
+        self.refits_completed = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_estimate(self, seconds: float, cache_hit: bool) -> None:
+        """Record one scalar estimate call."""
+        with self._lock:
+            self.estimate_requests += 1
+            self.predicates_served += 1
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self._latencies.append(seconds)
+
+    def record_batch(self, count: int, hits: int, seconds: float) -> None:
+        """Record one ``estimate_batch`` call covering ``count`` predicates."""
+        with self._lock:
+            self.batch_requests += 1
+            self.predicates_served += count
+            self.cache_hits += hits
+            self.cache_misses += count - hits
+            self._latencies.append(seconds)
+
+    def record_observation(self) -> None:
+        """Record one piece of feedback flowing into the service."""
+        with self._lock:
+            self.observations += 1
+
+    def record_refit_triggered(self) -> None:
+        """A policy trigger fired (the refit may still be coalesced)."""
+        with self._lock:
+            self.refits_triggered += 1
+
+    def record_refit_completed(self) -> None:
+        """A refit finished and its model was published."""
+        with self._lock:
+            self.refits_completed += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over all predicates served (0.0 when idle)."""
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return self.cache_hits / total if total else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile (seconds) over the recent request window."""
+        if not (0.0 <= percentile <= 100.0):
+            raise ServingError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            return float(np.percentile(np.array(self._latencies), percentile))
+
+    @property
+    def p50_latency_seconds(self) -> float:
+        """Median request latency."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_seconds(self) -> float:
+        """Tail request latency."""
+        return self.latency_percentile(99.0)
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict view of every counter plus derived metrics."""
+        with self._lock:
+            counters = {
+                "estimate_requests": self.estimate_requests,
+                "batch_requests": self.batch_requests,
+                "predicates_served": self.predicates_served,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "observations": self.observations,
+                "refits_triggered": self.refits_triggered,
+                "refits_completed": self.refits_completed,
+            }
+        counters["hit_rate"] = self.hit_rate
+        counters["p50_latency_seconds"] = self.p50_latency_seconds
+        counters["p99_latency_seconds"] = self.p99_latency_seconds
+        return counters
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingStats(served={self.predicates_served}, "
+            f"hit_rate={self.hit_rate:.2f}, refits={self.refits_completed})"
+        )

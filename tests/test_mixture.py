@@ -98,6 +98,27 @@ class TestDensityAndEstimation:
         with pytest.raises(TrainingError):
             two_component_model.density(np.zeros((3, 5)))
 
+    def test_estimate_many_matches_scalar(self, two_component_model):
+        targets = [
+            Hyperrectangle([[0, 1], [0, 1]]),
+            Hyperrectangle([[0.5, 1.5], [0, 1]]),
+            Region.from_boxes(
+                [
+                    Hyperrectangle([[0, 0.5], [0, 1]]),
+                    Hyperrectangle([[1.5, 2], [0, 1]]),
+                ]
+            ),
+            Region.empty(2),
+        ]
+        batched = two_component_model.estimate_many(targets)
+        scalar = [two_component_model.estimate(t) for t in targets]
+        np.testing.assert_allclose(batched, scalar, atol=1e-12)
+        assert two_component_model.estimate_many([]).shape == (0,)
+
+    def test_estimate_many_rejects_unknown_type(self, two_component_model):
+        with pytest.raises(TrainingError):
+            two_component_model.estimate_many(["not a predicate"])
+
 
 class TestTransformations:
     def test_clipped_removes_negatives_and_renormalises(self):

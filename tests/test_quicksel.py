@@ -95,6 +95,79 @@ class TestQuickSelBasics:
         assert estimator.last_refit is not None
         assert estimator.last_refit.observed_queries == 10
 
+    def test_observe_many_single_pass_matches_per_item_observe(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        predicates = random_box_queries(10)
+        feedback = [(p, p.selectivity(gaussian_rows)) for p in predicates]
+        batched = QuickSel(unit_square, QuickSelConfig(random_seed=5))
+        batched.observe_many(feedback)
+        looped = QuickSel(unit_square, QuickSelConfig(random_seed=5))
+        for predicate, selectivity in feedback:
+            looped.observe(predicate, selectivity)
+        assert batched.observed_count == looped.observed_count == 10
+        assert [q.selectivity for q in batched.observed_queries] == [
+            q.selectivity for q in looped.observed_queries
+        ]
+        probes = random_box_queries(8, seed=21)
+        assert [batched.estimate(p) for p in probes] == [
+            looped.estimate(p) for p in probes
+        ]
+
+    def test_observe_many_empty_batch_keeps_model_fresh(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = QuickSel(unit_square)
+        estimator.observe_many(
+            [(p, p.selectivity(gaussian_rows)) for p in random_box_queries(6)]
+        )
+        estimator.refit()
+        refit_before = estimator.last_refit
+        estimator.observe_many([])  # no new feedback: must not mark stale
+        estimator.estimate(random_box_queries(1, seed=8)[0])
+        assert estimator.last_refit is refit_before
+
+    def test_estimate_many_matches_scalar(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = QuickSel(unit_square, QuickSelConfig(random_seed=0))
+        estimator.observe_many(
+            [(p, p.selectivity(gaussian_rows)) for p in random_box_queries(15)],
+            refit=True,
+        )
+        probes = random_box_queries(25, seed=13)
+        batched = estimator.estimate_many(probes)
+        scalar = np.array([estimator.estimate(p) for p in probes])
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_estimate_many_raises_same_error_type_as_scalar(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = QuickSel(unit_square, QuickSelConfig(random_seed=0))
+        estimator.observe_many(
+            [(p, p.selectivity(gaussian_rows)) for p in random_box_queries(6)],
+            refit=True,
+        )
+        wrong_dimension = Hyperrectangle.unit(3)
+        with pytest.raises(EstimatorError):
+            estimator.estimate(wrong_dimension)
+        with pytest.raises(EstimatorError):
+            estimator.estimate_many([wrong_dimension])
+        with pytest.raises(EstimatorError):
+            estimator.estimate_many([42])
+
+    def test_estimate_many_triggers_lazy_refit(
+        self, unit_square, gaussian_rows, random_box_queries
+    ):
+        estimator = QuickSel(unit_square)
+        estimator.observe_many(
+            [(p, p.selectivity(gaussian_rows)) for p in random_box_queries(6)]
+        )
+        assert estimator.model is None
+        values = estimator.estimate_many(random_box_queries(4, seed=2))
+        assert estimator.model is not None
+        assert values.shape == (4,)
+
     def test_parameter_budget_rule(self, unit_square, gaussian_rows, random_box_queries):
         estimator = QuickSel(unit_square)
         predicates = random_box_queries(12)

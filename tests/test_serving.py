@@ -1,0 +1,626 @@
+"""Tests for the selectivity-serving subsystem (repro.serving).
+
+Covers the contracts the serving layer makes:
+
+* registry snapshots are immutable, versions are monotonic, and hot-swaps
+  stay atomic under interleaved refit/estimate threads,
+* the LRU result cache is version-scoped and invalidated on publish,
+* ``estimate_many``/``estimate_batch`` match scalar ``estimate``
+  elementwise (property-tested over random predicates),
+* the refit policy's count and drift triggers fire as specified,
+* the engine's :class:`~repro.engine.feedback.FeedbackLoop` routes
+  executor feedback through the service and the optimizer plans off the
+  served snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import QuickSelConfig
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import box_predicate
+from repro.core.quicksel import QuickSel
+from repro.core.region import Region
+from repro.engine import (
+    AccessPathOptimizer,
+    Catalog,
+    Column,
+    Executor,
+    FeedbackLoop,
+    QueryBuilder,
+    Schema,
+    Table,
+)
+from repro.exceptions import ServingError
+from repro.serving import (
+    EstimateCache,
+    EstimatorRegistry,
+    ModelKey,
+    RefitPolicy,
+    RefitScheduler,
+    SelectivityService,
+    ServingEstimator,
+    predicate_cache_key,
+)
+from repro.workloads.queries import RandomRangeQueryGenerator, labelled_feedback
+from repro.workloads.synthetic import gaussian_dataset
+
+
+@pytest.fixture(scope="module")
+def trained_world():
+    """A dataset, feedback stream, and a trained QuickSel."""
+    dataset = gaussian_dataset(8_000, dimension=2, correlation=0.5, seed=3)
+    generator = RandomRangeQueryGenerator(dataset.domain, seed=4)
+    feedback = labelled_feedback(generator.generate(120), dataset.rows)
+    trained = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+    trained.observe_many(feedback[:80], refit=True)
+    return dataset, feedback, trained
+
+
+def make_service(**kwargs) -> SelectivityService:
+    kwargs.setdefault("scheduler", RefitScheduler("inline"))
+    return SelectivityService(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Registry and snapshots
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_bootstrap_snapshot_is_uniform(self, unit_square):
+        registry = EstimatorRegistry()
+        key = ModelKey("t")
+        snapshot = registry.register(key, unit_square)
+        assert snapshot.version == 0
+        assert snapshot.is_bootstrap
+        box = Hyperrectangle([[0.0, 0.5], [0.0, 0.5]])
+        assert snapshot.estimate(box) == pytest.approx(0.25)
+
+    def test_bootstrap_clips_region_predicates_to_domain(self, unit_square):
+        """A region sticking out of the domain must only count the part
+        inside it (regression: unclipped pieces doubled the estimate)."""
+        registry = EstimatorRegistry()
+        snapshot = registry.register(ModelKey("t"), unit_square)
+        half_out_box = Hyperrectangle([[0.5, 1.5], [0.0, 1.0]])
+        region = Region.from_box(half_out_box)
+        assert snapshot.estimate(region) == pytest.approx(0.5)
+        assert snapshot.estimate(half_out_box) == pytest.approx(0.5)
+        np.testing.assert_allclose(
+            snapshot.estimate_many([region, half_out_box]), [0.5, 0.5]
+        )
+
+    def test_register_is_idempotent(self, unit_square):
+        registry = EstimatorRegistry()
+        key = ModelKey("t")
+        first = registry.register(key, unit_square)
+        again = registry.register(key, unit_square)
+        assert again is first
+
+    def test_publish_bumps_version_by_one(self, trained_world, unit_square):
+        _, _, trained = trained_world
+        registry = EstimatorRegistry()
+        key = ModelKey("t")
+        registry.register(key, trained.domain)
+        first = registry.publish(key, trained.model, trained.observed_count)
+        second = registry.publish(key, trained.model, trained.observed_count)
+        assert (first.version, second.version) == (1, 2)
+        assert registry.current(key) is second
+
+    def test_publish_to_unknown_key_raises(self, trained_world):
+        _, _, trained = trained_world
+        registry = EstimatorRegistry()
+        with pytest.raises(ServingError):
+            registry.publish(ModelKey("nope"), trained.model, 1)
+
+    def test_current_unknown_key_raises(self):
+        with pytest.raises(ServingError):
+            EstimatorRegistry().current(ModelKey("missing"))
+
+    def test_listeners_fire_on_publish(self, trained_world):
+        _, _, trained = trained_world
+        registry = EstimatorRegistry()
+        key = ModelKey("t")
+        registry.register(key, trained.domain)
+        seen = []
+        registry.add_listener(lambda k, snap: seen.append((k, snap.version)))
+        registry.publish(key, trained.model, trained.observed_count)
+        assert seen == [(key, 1)]
+
+    def test_version_atomicity_under_interleaved_refit_and_estimate(
+        self, trained_world
+    ):
+        """Readers racing a publisher must only ever see complete snapshots
+        with monotonically non-decreasing versions."""
+        dataset, feedback, _ = trained_world
+        registry = EstimatorRegistry()
+        key = ModelKey("t")
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=1))
+        registry.register(key, dataset.domain)
+        probe = feedback[100][0]
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def publisher():
+            for count in range(5, 45, 5):
+                trainer.observe_many(feedback[:count])
+                trainer.refit()
+                registry.publish(key, trainer.model, trainer.observed_count)
+            stop.set()
+
+        def reader():
+            last_version = -1
+            while not stop.is_set():
+                snapshot = registry.current(key)
+                if snapshot.version < last_version:
+                    errors.append(
+                        f"version went backwards: {last_version} -> "
+                        f"{snapshot.version}"
+                    )
+                last_version = snapshot.version
+                value = snapshot.estimate(probe)
+                if not (0.0 <= value <= 1.0):
+                    errors.append(f"broken snapshot served {value}")
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writer = threading.Thread(target=publisher)
+        for thread in readers + [writer]:
+            thread.start()
+        for thread in readers + [writer]:
+            thread.join(timeout=30)
+        assert not errors
+        assert registry.current(key).version == 8
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class TestEstimateCache:
+    def test_lru_eviction(self):
+        cache = EstimateCache(capacity=2)
+        cache.put(("k", 1, "a"), 0.1)
+        cache.put(("k", 1, "b"), 0.2)
+        assert cache.get(("k", 1, "a")) == 0.1  # refresh "a"
+        cache.put(("k", 1, "c"), 0.3)  # evicts "b"
+        assert cache.get(("k", 1, "b")) is None
+        assert cache.get(("k", 1, "a")) == 0.1
+        assert cache.get(("k", 1, "c")) == 0.3
+
+    def test_invalidate_drops_only_the_model_key(self):
+        cache = EstimateCache()
+        cache.put(("k1", 1, "a"), 0.1)
+        cache.put(("k1", 2, "b"), 0.2)
+        cache.put(("k2", 1, "a"), 0.3)
+        assert cache.invalidate("k1") == 2
+        assert cache.get(("k1", 1, "a")) is None
+        assert cache.get(("k2", 1, "a")) == 0.3
+
+    def test_predicate_cache_key_distinguishes_predicates(self):
+        p1 = box_predicate([(0, 0.1, 0.5), (1, 0.2, 0.6)])
+        p2 = box_predicate([(0, 0.1, 0.5), (1, 0.2, 0.7)])
+        same_as_p1 = box_predicate([(0, 0.1, 0.5), (1, 0.2, 0.6)])
+        assert predicate_cache_key(p1) == predicate_cache_key(same_as_p1)
+        assert predicate_cache_key(p1) != predicate_cache_key(p2)
+        assert predicate_cache_key(p1 | p2) != predicate_cache_key(p1 & p2)
+        assert predicate_cache_key(~p1) != predicate_cache_key(p1)
+
+    def test_cache_invalidation_on_hot_swap(self, trained_world):
+        """After a publish, estimates must come from the new version even
+        though the old result was cached."""
+        dataset, feedback, _ = trained_world
+        # Disable both triggers so refit_now() below is the trainer's
+        # first refit (keeping its RNG in lockstep with the direct twin).
+        service = make_service(
+            policy=RefitPolicy(min_new_observations=10_000, drift_threshold=1.0)
+        )
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        key = service.register_model("t", trainer)
+        probe = feedback[100][0]
+
+        uniform_estimate = service.estimate(key, probe)
+        assert service.estimate(key, probe) == uniform_estimate  # cached hit
+        assert service.stats.cache_hits >= 1
+
+        for predicate, selectivity in feedback[:60]:
+            service.observe(key, predicate, selectivity)
+        swapped = service.refit_now(key)
+        assert swapped.version >= 1
+
+        fresh = service.estimate(key, probe)
+        direct = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        direct.observe_many(feedback[:60], refit=True)
+        assert fresh == pytest.approx(direct.estimate(probe), abs=1e-9)
+        assert fresh != uniform_estimate
+
+
+# ----------------------------------------------------------------------
+# Batch estimation equivalence (property test)
+# ----------------------------------------------------------------------
+class TestBatchEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_estimate_many_matches_scalar_elementwise(
+        self, data, trained_world
+    ):
+        _, _, trained = trained_world
+        count = data.draw(st.integers(min_value=1, max_value=12))
+        predicates = []
+        for index in range(count):
+            low_x = data.draw(
+                st.floats(min_value=0.0, max_value=0.8), label=f"lx{index}"
+            )
+            low_y = data.draw(
+                st.floats(min_value=0.0, max_value=0.8), label=f"ly{index}"
+            )
+            width = data.draw(
+                st.floats(min_value=0.0, max_value=0.5), label=f"w{index}"
+            )
+            predicate = box_predicate(
+                [
+                    (0, low_x, min(low_x + width, 1.0)),
+                    (1, low_y, min(low_y + width, 1.0)),
+                ]
+            )
+            if data.draw(st.booleans(), label=f"neg{index}"):
+                predicate = ~predicate
+            predicates.append(predicate)
+        batched = trained.estimate_many(predicates)
+        scalar = np.array([trained.estimate(p) for p in predicates])
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_batch_equivalence_for_regions_and_boxes(self, trained_world):
+        _, feedback, trained = trained_world
+        box = Hyperrectangle([[0.2, 0.7], [0.1, 0.5]])
+        mixed = [
+            feedback[0][0],
+            feedback[1][0] | feedback[2][0],
+            ~feedback[3][0],
+            box,
+            feedback[4][0].to_region(trained.domain),
+        ]
+        batched = trained.estimate_many(mixed)
+        scalar = np.array([trained.estimate(p) for p in mixed])
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_service_batch_matches_direct_estimator(self, trained_world):
+        dataset, feedback, trained = trained_world
+        service = make_service()
+        twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        twin.observe_many(feedback[:80], refit=True)
+        key = service.register_model("t", twin)
+        probes = [predicate for predicate, _ in feedback[80:]]
+        served = service.estimate_batch(key, probes)
+        direct = np.array([trained.estimate(p) for p in probes])
+        np.testing.assert_allclose(served, direct, atol=1e-9)
+        # A second pass is answered from the cache with identical values.
+        again = service.estimate_batch(key, probes)
+        np.testing.assert_array_equal(served, again)
+        assert service.stats.cache_hits == len(probes)
+
+    def test_empty_batch(self, trained_world):
+        dataset, feedback, _ = trained_world
+        service = make_service()
+        twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        key = service.register_model("t", twin)
+        assert service.estimate_batch(key, []).shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# Refit policy and background scheduler
+# ----------------------------------------------------------------------
+class TestRefitPolicy:
+    def test_count_trigger(self):
+        policy = RefitPolicy(min_new_observations=5)
+        assert not policy.decide(4, [])
+        decision = policy.decide(5, [])
+        assert decision and decision.reason.startswith("count")
+
+    def test_drift_trigger(self):
+        policy = RefitPolicy(
+            min_new_observations=1_000,
+            drift_threshold=0.1,
+            drift_window=4,
+            min_drift_observations=4,
+        )
+        assert not policy.decide(3, [0.05, 0.05, 0.05, 0.05])
+        decision = policy.decide(3, [0.0, 0.3, 0.3, 0.3])
+        assert decision and decision.reason.startswith("drift")
+
+    def test_drift_needs_minimum_observations(self):
+        policy = RefitPolicy(
+            min_new_observations=1_000, drift_threshold=0.01,
+            min_drift_observations=8,
+        )
+        assert not policy.decide(3, [0.9] * 7)
+        assert policy.decide(3, [0.9] * 8)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ServingError):
+            RefitPolicy(min_new_observations=0)
+        with pytest.raises(ServingError):
+            RefitPolicy(drift_threshold=0.0)
+
+    def test_count_trigger_drives_background_refit(self, trained_world):
+        dataset, feedback, _ = trained_world
+        service = SelectivityService(
+            policy=RefitPolicy(min_new_observations=10),
+            scheduler=RefitScheduler("background"),
+        )
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        key = service.register_model("t", trainer)
+        for predicate, selectivity in feedback[:20]:
+            service.observe(key, predicate, selectivity)
+        service.drain(timeout=30)
+        snapshot = service.snapshot_for(key)
+        assert snapshot.version >= 1
+        assert not snapshot.is_bootstrap
+        assert service.stats.refits_completed >= 1
+        assert not service.scheduler.failures
+
+    def test_drift_trigger_fires_before_count(self, trained_world):
+        dataset, feedback, _ = trained_world
+        service = make_service(
+            policy=RefitPolicy(
+                min_new_observations=10_000,
+                drift_threshold=0.05,
+                drift_window=4,
+                min_drift_observations=4,
+            )
+        )
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        key = service.register_model("t", trainer)
+        # The bootstrap uniform model badly mis-estimates a selective
+        # workload, so the drift statistic crosses the threshold quickly.
+        triggered = False
+        for predicate, selectivity in feedback[:12]:
+            triggered = service.observe(key, predicate, selectivity) or triggered
+        assert triggered
+        assert service.snapshot_for(key).version >= 1
+
+    def test_scheduler_coalesces_duplicate_keys(self):
+        scheduler = RefitScheduler("inline")
+        ran = []
+        assert scheduler.submit("k", lambda: ran.append(1))
+        assert scheduler.submit("k", lambda: ran.append(2))  # ran: not pending
+        assert ran == [1, 2]
+        barrier = threading.Event()
+        release = threading.Event()
+        background = RefitScheduler("background")
+        background.submit("k", lambda: (barrier.set(), release.wait(5)))
+        assert barrier.wait(5)
+        assert not background.submit("k", lambda: None)  # coalesced
+        release.set()
+        background.drain(timeout=10)
+        assert background.coalesced == 1
+        background.shutdown()
+
+    def test_scheduler_records_failures(self):
+        scheduler = RefitScheduler("inline")
+
+        def boom():
+            raise ValueError("training exploded")
+
+        scheduler.submit("k", boom)
+        assert len(scheduler.failures) == 1
+        key, error = scheduler.failures[0]
+        assert key == "k" and isinstance(error, ValueError)
+
+
+# ----------------------------------------------------------------------
+# Service surface
+# ----------------------------------------------------------------------
+class TestSelectivityService:
+    def test_duplicate_registration_rejected(self, trained_world):
+        dataset, _, _ = trained_world
+        service = make_service()
+        service.register_model("t", QuickSel(dataset.domain))
+        with pytest.raises(ServingError):
+            service.register_model("t", QuickSel(dataset.domain))
+
+    def test_columns_scope_distinct_models(self, trained_world):
+        dataset, _, _ = trained_world
+        service = make_service()
+        key_all = service.register_model("t", QuickSel(dataset.domain))
+        key_xy = service.register_model(
+            "t", QuickSel(dataset.domain), columns=("x", "y")
+        )
+        assert key_all != key_xy
+        assert set(service.model_keys()) == {key_all, key_xy}
+
+    def test_registration_absorbs_unfitted_backlog(self, trained_world):
+        """A trainer registered with recorded-but-unfitted feedback must
+        not serve uniform bootstrap estimates forever (regression)."""
+        dataset, feedback, _ = trained_world
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        trainer.observe_many(feedback[:40])  # no refit
+        service = make_service()
+        key = service.register_model("t", trainer)
+        snapshot = service.snapshot_for(key)
+        assert not snapshot.is_bootstrap
+        assert snapshot.version == 1
+        assert snapshot.trained_on == 40
+        direct = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        direct.observe_many(feedback[:40], refit=True)
+        probe = feedback[100][0]
+        assert service.estimate(key, probe) == pytest.approx(
+            direct.estimate(probe), abs=1e-9
+        )
+
+    def test_pretrained_model_served_immediately(self, trained_world):
+        dataset, feedback, trained = trained_world
+        service = make_service()
+        twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        twin.observe_many(feedback[:80], refit=True)
+        key = service.register_model("t", twin)
+        assert service.snapshot_for(key).version == 1
+        probe = feedback[100][0]
+        assert service.estimate(key, probe) == pytest.approx(
+            trained.estimate(probe), abs=1e-9
+        )
+
+    def test_observe_before_register_raises(self, trained_world, unit_square):
+        _, feedback, _ = trained_world
+        service = make_service()
+        with pytest.raises(ServingError):
+            service.observe("ghost", feedback[0][0], 0.5)
+
+    def test_close_detaches_from_shared_registry(self, trained_world):
+        dataset, feedback, trained = trained_world
+        registry = EstimatorRegistry()
+        service = make_service(registry=registry)
+        key = service.register_model("t", QuickSel(dataset.domain))
+        probe = feedback[0][0]
+        service.estimate(key, probe)
+        assert len(service.cache) == 1
+        service.close()
+        # A publish on the shared registry no longer reaches the closed
+        # service's cache-invalidation listener.
+        registry.publish(key, trained.model, trained.observed_count)
+        assert len(service.cache) == 1
+
+    def test_custom_predicate_subclass_served_uncached(self, trained_world):
+        """User-defined predicates are estimable everywhere else, so the
+        service must serve them (uncached) instead of rejecting them."""
+        from repro.core.predicate import Predicate
+        from repro.core.region import Region as _Region
+
+        class Half(Predicate):
+            def to_region(self, domain):
+                lower = domain.lower.copy()
+                upper = domain.upper.copy()
+                upper[0] = 0.5 * (lower[0] + upper[0])
+                return _Region.from_box(
+                    Hyperrectangle(np.stack([lower, upper], axis=1))
+                )
+
+        dataset, feedback, trained = trained_world
+        service = make_service()
+        twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        twin.observe_many(feedback[:80], refit=True)
+        key = service.register_model("t", twin)
+        custom = Half()
+        expected = trained.estimate(custom)
+        assert service.estimate(key, custom) == pytest.approx(expected, abs=1e-9)
+        batch = service.estimate_batch(key, [custom, feedback[100][0]])
+        assert batch[0] == pytest.approx(expected, abs=1e-9)
+        assert len(service.cache) >= 1  # the keyable predicate is cached
+
+    def test_close_leaves_shared_scheduler_running(self, trained_world):
+        dataset, feedback, _ = trained_world
+        shared = RefitScheduler("inline")
+        first = SelectivityService(scheduler=shared)
+        second = SelectivityService(
+            scheduler=shared, policy=RefitPolicy(min_new_observations=5)
+        )
+        first.register_model("a", QuickSel(dataset.domain))
+        key = second.register_model("b", QuickSel(dataset.domain))
+        first.close()
+        for predicate, selectivity in feedback[:6]:
+            second.observe(key, predicate, selectivity)  # must not raise
+        assert second.snapshot_for(key).version >= 1
+
+    def test_stats_surface(self, trained_world):
+        dataset, feedback, _ = trained_world
+        service = make_service(policy=RefitPolicy(min_new_observations=5))
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        key = service.register_model("t", trainer)
+        for predicate, selectivity in feedback[:10]:
+            service.observe(key, predicate, selectivity)
+        service.estimate(key, feedback[20][0])
+        service.estimate(key, feedback[20][0])
+        snapshot = service.stats.snapshot()
+        assert snapshot["observations"] == 10
+        assert snapshot["refits_completed"] >= 1
+        assert snapshot["cache_hits"] >= 1
+        assert 0.0 <= snapshot["hit_rate"] <= 1.0
+        assert snapshot["p99_latency_seconds"] >= snapshot["p50_latency_seconds"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Engine wiring
+# ----------------------------------------------------------------------
+class TestEngineWiring:
+    @pytest.fixture
+    def engine_world(self):
+        rng = np.random.default_rng(11)
+        schema = Schema([Column("x"), Column("y")])
+        table = Table("events", schema)
+        table.insert(rng.uniform(0.0, 1.0, size=(4_000, 2)))
+        executor = Executor()
+        executor.register_table(table)
+        catalog = Catalog()
+        loop = FeedbackLoop(executor, catalog)
+        return rng, schema, table, executor, catalog, loop
+
+    def random_query(self, rng, builder):
+        low = rng.uniform(0.0, 0.6, size=2)
+        high = low + rng.uniform(0.1, 0.4, size=2)
+        predicate = box_predicate(
+            [(0, low[0], min(high[0], 1.0)), (1, low[1], min(high[1], 1.0))]
+        )
+        return builder.query("events", predicate)
+
+    def test_feedback_loop_routes_to_service(self, engine_world):
+        rng, schema, table, executor, catalog, loop = engine_world
+        service = make_service(policy=RefitPolicy(min_new_observations=8))
+        trainer = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        adapter = loop.register_service("events", service, trainer=trainer)
+        assert isinstance(adapter, ServingEstimator)
+        assert adapter in loop.estimators_for("events")
+
+        builder = QueryBuilder(schema)
+        for _ in range(16):
+            executor.execute(self.random_query(rng, builder))
+        service.drain(timeout=30)
+
+        assert service.stats.observations == 16
+        assert adapter.observed_count == 16
+        assert adapter.version >= 1
+        assert catalog.feedback_count("events") == 16
+
+    def test_register_service_requires_known_key_without_trainer(
+        self, engine_world
+    ):
+        *_, loop = engine_world
+        with pytest.raises(ServingError):
+            loop.register_service("events", make_service())
+
+    def test_register_service_rejects_snapshot_without_owned_trainer(
+        self, engine_world, unit_square
+    ):
+        """A snapshot living in a shared registry is not enough: feedback
+        needs this service to own the trainer."""
+        *_, loop = engine_world
+        service = make_service()
+        service.registry.register(service.key_for("events"), unit_square)
+        with pytest.raises(ServingError, match="owns no trainer"):
+            loop.register_service("events", service)
+
+    def test_optimizer_plans_through_served_snapshot(self, engine_world):
+        rng, schema, table, executor, catalog, loop = engine_world
+        service = make_service(policy=RefitPolicy(min_new_observations=8))
+        trainer = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
+        adapter = loop.register_service("events", service, trainer=trainer)
+        builder = QueryBuilder(schema)
+        for _ in range(16):
+            executor.execute(self.random_query(rng, builder))
+        service.drain(timeout=30)
+
+        optimizer = AccessPathOptimizer(table, adapter)
+        optimizer.add_index("x")
+        queries = [self.random_query(rng, builder) for _ in range(12)]
+        predicates = [query.predicate for query in queries]
+        plans = optimizer.plan_many(predicates)
+        assert len(plans) == len(predicates)
+        scalar_plans = [optimizer.plan(predicate) for predicate in predicates]
+        for batched, scalar in zip(plans, scalar_plans):
+            assert batched.access_path == scalar.access_path
+            assert batched.estimated_selectivity == pytest.approx(
+                scalar.estimated_selectivity, abs=1e-9
+            )
+        # The burst went through the service's batch path.
+        assert service.stats.batch_requests >= 1
