@@ -23,6 +23,7 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -199,6 +200,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small workload for CI smoke runs (still asserts the bars)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the results dict as JSON to PATH",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         # CI smoke: still asserts correctness (1e-9 parity, cache hits)
@@ -211,6 +217,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         results = run_serving_benchmark()
     print(render_report(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
     print("serving benchmark: all assertions passed")
     return 0
 

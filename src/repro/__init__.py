@@ -19,8 +19,13 @@ The package is organised as:
 * :mod:`repro.serving` — the serving layer: versioned immutable model
   snapshots, a batched+cached :class:`~repro.serving.service.SelectivityService`
   front-end, and policy-driven background refits.
+* :mod:`repro.cluster` — the sharded serving cluster: a stable hash ring
+  routing model keys across independent shard workers, non-blocking
+  feedback ingest via per-shard observation buffers, cross-shard batch
+  fan-out, elastic shard add/remove, and fleet-wide aggregated metrics.
 """
 
+from repro.cluster import ShardedSelectivityService, ShardRouter
 from repro.core import (
     BoxPredicate,
     Hyperrectangle,
@@ -43,7 +48,7 @@ from repro.serving import (
     ServingEstimator,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -64,4 +69,6 @@ __all__ = [
     "RefitPolicy",
     "SelectivityService",
     "ServingEstimator",
+    "ShardRouter",
+    "ShardedSelectivityService",
 ]

@@ -1,0 +1,46 @@
+"""The sharded selectivity-serving cluster.
+
+PR 1's :mod:`repro.serving` made one process serve versioned, cached,
+batch-estimated selectivity models.  This package scales that design out
+to a fleet of independent shards behind the same API:
+
+* :mod:`repro.cluster.router` — :class:`ShardRouter`, a stable
+  consistent-hash ring assigning each
+  :class:`~repro.serving.registry.ModelKey` to one shard, with minimal
+  deterministic migration on membership change;
+* :mod:`repro.cluster.buffer` — :class:`ObservationBuffer`, the
+  non-blocking write path: feedback enqueues without touching the
+  trainer lock and replays right after each snapshot publish, so writers
+  never stall behind a refit;
+* :mod:`repro.cluster.shard` — :class:`ShardWorker`, one shard's full
+  serving stack (registry, cache, scheduler, stats) plus the buffer;
+* :mod:`repro.cluster.service` — :class:`ShardedSelectivityService`, the
+  front-end: routes single-key traffic, fans mixed-key batches out
+  across shards (reassembled in input order), and supports elastic
+  ``add_shard`` / ``remove_shard``;
+* :mod:`repro.cluster.stats` — :class:`ClusterStats`, per-shard metrics
+  aggregated into one fleet view (summed counters, true hit rate,
+  merged latency percentiles).
+
+Because :class:`ShardedSelectivityService` satisfies the
+:class:`~repro.serving.adapter.SelectivityServing` protocol, everything
+built on the serving layer — :class:`~repro.serving.adapter.
+ServingEstimator`, :meth:`~repro.engine.feedback.FeedbackLoop.
+register_service`, the optimizer's batched planning — works unchanged on
+one shard or many.
+"""
+
+from repro.cluster.buffer import BufferedObservation, ObservationBuffer
+from repro.cluster.router import ShardRouter
+from repro.cluster.service import ShardedSelectivityService
+from repro.cluster.shard import ShardWorker
+from repro.cluster.stats import ClusterStats
+
+__all__ = [
+    "ShardRouter",
+    "BufferedObservation",
+    "ObservationBuffer",
+    "ShardWorker",
+    "ShardedSelectivityService",
+    "ClusterStats",
+]

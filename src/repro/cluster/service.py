@@ -1,0 +1,516 @@
+"""The sharded selectivity-serving cluster front-end.
+
+:class:`ShardedSelectivityService` exposes the same surface as the
+single-process :class:`~repro.serving.service.SelectivityService` —
+``register_model`` / ``estimate`` / ``estimate_batch`` /
+``estimate_batch_mixed`` / ``observe`` — but spreads the model keys over
+N :class:`~repro.cluster.shard.ShardWorker`\\ s via a stable
+:class:`~repro.cluster.router.ShardRouter` hash ring.  Each shard owns a
+full serving stack (registry, cache, scheduler, stats), so shards share
+*nothing* on the hot path: a refit, a cache burst, or a lock on one
+shard cannot touch another shard's traffic, and per-shard cache capacity
+adds up as the fleet grows — the property the cluster benchmark
+measures.
+
+Cross-shard batching: :meth:`estimate_batch_mixed` splits a mixed-key
+burst by shard, fans the per-shard groups out on a thread pool, keeps
+PR 1's per-key vectorised fast path within each shard, and reassembles
+results in input order.
+
+Elasticity: :meth:`add_shard` / :meth:`remove_shard` change the ring and
+migrate exactly the keys whose route changed (the consistent-hash
+minimal set), each by drain → buffered-feedback flush → trainer hand-off
+→ re-registration on the destination, so a resize never loses feedback
+and never serves from a half-moved model.
+
+Observability: :attr:`stats` is a
+:class:`~repro.cluster.stats.ClusterStats` aggregating per-shard hit
+rates, merged latency percentiles, refit and buffer counters into one
+fleet view.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.quicksel import QuickSel
+from repro.exceptions import ClusterError, ServingError
+from repro.serving.policy import RefitPolicy
+from repro.serving.registry import ModelKey, normalize_key
+from repro.serving.snapshot import ModelSnapshot
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import ShardWorker
+from repro.cluster.stats import ClusterStats
+
+__all__ = ["ShardedSelectivityService"]
+
+
+class ShardedSelectivityService:
+    """N independent serving shards behind one service-compatible API."""
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        shard_ids: Sequence[str] | None = None,
+        policy: RefitPolicy | None = None,
+        cache_capacity: int = 4096,
+        per_key_cache_budget: int | None = None,
+        scheduler_mode: str = "background",
+        buffer_capacity: int | None = None,
+        replicas: int = 64,
+        fanout_threads: bool = True,
+    ) -> None:
+        """Build a cluster of ``num_shards`` identically configured shards.
+
+        ``cache_capacity`` / ``per_key_cache_budget`` / ``policy`` /
+        ``scheduler_mode`` / ``buffer_capacity`` apply *per shard* (each
+        shard models one node with its own resources).  ``replicas``
+        controls ring granularity; ``fanout_threads=False`` evaluates
+        cross-shard batches sequentially (deterministic profiling mode).
+        """
+        if shard_ids is None:
+            if num_shards < 1:
+                raise ClusterError("num_shards must be at least 1")
+            shard_ids = [f"shard-{index}" for index in range(num_shards)]
+        shard_ids = list(shard_ids)
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ClusterError("shard ids must be unique")
+        self._shard_config = {
+            "policy": policy,
+            "cache_capacity": cache_capacity,
+            "per_key_cache_budget": per_key_cache_budget,
+            "scheduler_mode": scheduler_mode,
+            "buffer_capacity": buffer_capacity,
+        }
+        self._workers: dict[str, ShardWorker] = {
+            shard_id: ShardWorker(shard_id, **self._shard_config)
+            for shard_id in shard_ids
+        }
+        self._router = ShardRouter(shard_ids, replicas=replicas)
+        self._lock = threading.RLock()
+        self._next_shard_index = len(shard_ids)
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=16, thread_name_prefix="repro-cluster"
+            )
+            if fanout_threads
+            else None
+        )
+        self._stats = ClusterStats(self)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Topology surface
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """How many shards currently serve traffic."""
+        with self._lock:
+            return len(self._workers)
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        """All shard ids, sorted."""
+        with self._lock:
+            return self._router.shards
+
+    @property
+    def router(self) -> ShardRouter:
+        """The hash ring (mutate only through add_shard/remove_shard)."""
+        return self._router
+
+    @property
+    def stats(self) -> ClusterStats:
+        """Fleet-wide aggregated metrics."""
+        return self._stats
+
+    def shard(self, shard_id: str) -> ShardWorker:
+        """One shard's worker (tests, metrics, debugging)."""
+        with self._lock:
+            try:
+                return self._workers[shard_id]
+            except KeyError as error:
+                raise ClusterError(f"unknown shard {shard_id!r}") from error
+
+    def shard_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> str:
+        """Which shard id a key routes to under the current ring."""
+        key = normalize_key(table, columns)
+        with self._lock:
+            return self._router.route(key)
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        table: str | ModelKey,
+        trainer: QuickSel,
+        columns: Sequence[str] = (),
+    ) -> ModelKey:
+        """Register a trainer on the shard its key routes to.
+
+        Runs under the routing lock (like shard add/remove): a
+        registration racing a membership change could otherwise land on
+        a shard the ring no longer routes the key to — or on a shard
+        being retired — leaving the model unreachable.
+        """
+        key = normalize_key(table, columns)
+        # Absorb any training backlog *before* taking the routing lock:
+        # the trainer is not shared yet, and a QP solve under the
+        # cluster-wide lock would stall every shard's traffic.  The
+        # shard's register_model then finds nothing left to refit.
+        fitted_on = (
+            0 if trainer.last_refit is None
+            else trainer.last_refit.observed_queries
+        )
+        if trainer.observed_count > fitted_on:
+            trainer.refit()
+        with self._lock:
+            self._ensure_open()
+            worker = self._workers[self._router.route(key)]
+            worker.register_model(key, trainer)
+        return key
+
+    def key_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> ModelKey:
+        """Normalise ``(table, columns)`` to the :class:`ModelKey` it names."""
+        return normalize_key(table, columns)
+
+    def model_keys(self) -> Sequence[ModelKey]:
+        """Every key served anywhere in the cluster, sorted."""
+        with self._lock:
+            workers = tuple(self._workers.values())
+        keys: list[ModelKey] = []
+        for worker in workers:
+            keys.extend(worker.model_keys())
+        return tuple(sorted(keys))
+
+    def snapshot_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> ModelSnapshot:
+        """The snapshot currently serving a key, wherever it lives."""
+        key = normalize_key(table, columns)
+        return self._with_worker(key, lambda worker: worker.snapshot_for(key))
+
+    def feedback_count(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> int:
+        """Observations accepted for a key (absorbed plus still buffered)."""
+        key = normalize_key(table, columns)
+        return self._with_worker(key, lambda worker: worker.feedback_count(key))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        table: str | ModelKey,
+        predicate: object,
+        columns: Sequence[str] = (),
+    ) -> float:
+        """Scalar estimate from the owning shard's current snapshot."""
+        key = normalize_key(table, columns)
+        return self._with_worker(
+            key, lambda worker: worker.estimate(key, predicate)
+        )
+
+    def estimate_batch(
+        self,
+        table: str | ModelKey,
+        predicates: Sequence[object],
+        columns: Sequence[str] = (),
+    ) -> np.ndarray:
+        """Single-key burst: routed whole to one shard's vectorised path."""
+        key = normalize_key(table, columns)
+        return self._with_worker(
+            key, lambda worker: worker.estimate_batch(key, predicates)
+        )
+
+    def estimate_batch_mixed(
+        self, pairs: Sequence[tuple[str | ModelKey, object]]
+    ) -> np.ndarray:
+        """Mixed-key burst: split by shard, fan out, reassemble in order.
+
+        Grouping happens under the routing lock (one consistent
+        membership view per burst); evaluation happens outside it, one
+        thread-pool task per involved shard, each running its keys
+        through the shard's vectorised ``estimate_batch``.  Results land
+        at the index their pair came in.  A key that migrates while the
+        burst is in flight is re-routed and retried once.
+        """
+        pairs = list(pairs)
+        results = np.empty(len(pairs))
+        if not pairs:
+            return results
+        # Group by key before touching the lock: normalize_key is pure,
+        # and routing once per *unique* key (not per pair) keeps the
+        # ring hashing — and the routing-lock hold — proportional to the
+        # number of models in the burst, not its length.
+        groups: dict[ModelKey, tuple[list[int], list[object]]] = {}
+        for index, (table, predicate) in enumerate(pairs):
+            key = normalize_key(table, ())
+            indices, predicates = groups.setdefault(key, ([], []))
+            indices.append(index)
+            predicates.append(predicate)
+        with self._lock:
+            shard_groups: dict[
+                str, dict[ModelKey, tuple[list[int], list[object]]]
+            ] = {}
+            for key, group in groups.items():
+                shard_groups.setdefault(self._router.route(key), {})[key] = group
+            workers = {
+                shard_id: self._workers[shard_id] for shard_id in shard_groups
+            }
+            closed = self._closed
+        misrouted: list[tuple[ModelKey, list[int], list[object]]] = []
+        misrouted_lock = threading.Lock()
+
+        def run_shard(
+            worker: ShardWorker,
+            by_key: dict[ModelKey, tuple[list[int], list[object]]],
+        ) -> None:
+            for key, (indices, predicates) in by_key.items():
+                try:
+                    values = worker.estimate_batch(key, predicates)
+                except ServingError:
+                    # The key moved (or never lived here); retry below
+                    # against a fresh routing view.
+                    with misrouted_lock:
+                        misrouted.append((key, indices, predicates))
+                    continue
+                results[indices] = values
+
+        if self._pool is not None and len(shard_groups) > 1 and not closed:
+            try:
+                futures = [
+                    self._pool.submit(run_shard, workers[shard_id], by_key)
+                    for shard_id, by_key in shard_groups.items()
+                ]
+            except RuntimeError:
+                # close() shut the pool between our grouping and the
+                # submit; serve sequentially like single-key reads on a
+                # closed cluster do, instead of leaking a raw pool error.
+                for shard_id, by_key in shard_groups.items():
+                    run_shard(workers[shard_id], by_key)
+            else:
+                for future in futures:
+                    future.result()
+        else:
+            for shard_id, by_key in shard_groups.items():
+                run_shard(workers[shard_id], by_key)
+        for key, indices, predicates in misrouted:
+            results[indices] = self._with_worker(
+                key, lambda worker, k=key, p=predicates: worker.estimate_batch(k, p)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Writes (the non-blocking ingest path)
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        table: str | ModelKey,
+        predicate: object,
+        selectivity: float,
+        columns: Sequence[str] = (),
+    ) -> bool:
+        """Record feedback via the owning shard's observation buffer.
+
+        Never blocks on training: if the key's trainer is mid-refit the
+        observation is buffered and replayed right after the next
+        snapshot publish.  Returns True when the (opportunistic) replay
+        ran and triggered a refit submission.
+        """
+        key = normalize_key(table, columns)
+        return self._with_worker(
+            key, lambda worker: worker.observe(key, predicate, selectivity)
+        )
+
+    def refit_now(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> ModelSnapshot:
+        """Flush the key's backlog and retrain synchronously on its shard."""
+        key = normalize_key(table, columns)
+        return self._with_worker(key, lambda worker: worker.refit_now(key))
+
+    def flush(self, blocking: bool = True) -> int:
+        """Replay every shard's buffered observations; returns total applied."""
+        with self._lock:
+            workers = tuple(self._workers.values())
+        return sum(worker.flush(blocking=blocking) for worker in workers)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Flush all buffers and wait for all in-flight refits, fleet-wide.
+
+        ``timeout`` (seconds) applies per shard, bounding each shard's
+        refit wait like :meth:`SelectivityService.drain` does.
+        """
+        with self._lock:
+            workers = tuple(self._workers.values())
+        for worker in workers:
+            worker.drain(timeout)
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: str | None = None) -> str:
+        """Grow the ring by one shard and migrate its keys onto it.
+
+        Only keys whose route changes — exactly the arcs the new shard
+        takes over, per the consistent-hash contract — move; each moves
+        by buffered-feedback flush, refit drain, trainer hand-off, and
+        re-registration (its current model republished, no retraining
+        from scratch).  Returns the new shard's id.
+
+        Membership changes are **stop-the-world**: the routing lock is
+        held for the whole migration, including waiting out any
+        in-flight refits on the source shards, so reads and writes
+        cluster-wide stall for the duration.  Resize at quiet points;
+        incremental per-key migration is a roadmap item.
+        """
+        with self._lock:
+            self._ensure_open()
+            if shard_id is None:
+                while f"shard-{self._next_shard_index}" in self._workers:
+                    self._next_shard_index += 1
+                shard_id = f"shard-{self._next_shard_index}"
+                self._next_shard_index += 1
+            if shard_id in self._workers:
+                raise ClusterError(f"shard {shard_id!r} already exists")
+            placements = {
+                key: owner
+                for owner, worker in self._workers.items()
+                for key in worker.model_keys()
+            }
+            worker = ShardWorker(shard_id, **self._shard_config)
+            self._workers[shard_id] = worker
+            self._router.add(shard_id)
+            moved = sorted(
+                (key, owner)
+                for key, owner in placements.items()
+                if self._router.route(key) != owner
+            )
+            for key, owner in moved:
+                self._migrate(
+                    key,
+                    self._workers[owner],
+                    self._workers[self._router.route(key)],
+                )
+            return shard_id
+
+    def remove_shard(self, shard_id: str) -> int:
+        """Drain a shard, migrate its keys clockwise, and retire it.
+
+        Keys on other shards do not move (consistent-hash contract).
+        Stop-the-world like :meth:`add_shard`.  Returns how many keys
+        were migrated.
+        """
+        with self._lock:
+            self._ensure_open()
+            if shard_id not in self._workers:
+                raise ClusterError(f"unknown shard {shard_id!r}")
+            if len(self._workers) == 1:
+                raise ClusterError("cannot remove the last shard")
+            source = self._workers[shard_id]
+            self._router.remove(shard_id)
+            keys = sorted(source.model_keys())
+            for key in keys:
+                self._migrate(
+                    key, source, self._workers[self._router.route(key)]
+                )
+            del self._workers[shard_id]
+            source.close()
+            return len(keys)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
+    def close(self) -> None:
+        """Shut down every shard and the fan-out pool.  Idempotent.
+
+        If a shard's scheduler is still mid-refit its shutdown raises;
+        the closed flag is only set once every shard released, so the
+        caller can retry close() rather than leaking worker threads
+        behind a silent no-op.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            workers = tuple(self._workers.values())
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        for worker in workers:
+            worker.close()
+        with self._lock:
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _with_worker(self, key: ModelKey, call):
+        """Route and call, retrying once if the key migrated mid-call."""
+        for attempt in (0, 1):
+            with self._lock:
+                worker = self._workers[self._router.route(key)]
+            try:
+                return call(worker)
+            except ServingError:
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _migrate(
+        self, key: ModelKey, source: ShardWorker, dest: ShardWorker
+    ) -> None:
+        # Order matters: replay buffered feedback into the trainer, let
+        # in-flight refits publish, then hand the trainer to the
+        # destination.  refit_backlog=False republishes the exact model
+        # the source was serving — a migration moves a snapshot, it does
+        # not retrain — while unabsorbed feedback stays pending toward
+        # the destination's refit policy.
+        source.flush(key, blocking=True)
+        source.service.drain()
+        drift_errors = source.service.drift_errors(key)
+        trainer = source.unregister_model(key)
+        dest.register_model(
+            key, trainer, refit_backlog=False, initial_errors=drift_errors
+        )
+        # Final sweep: an observe that raced the hand-off may have
+        # buffered on the source after its last flush; forward the
+        # leftovers (and release the source's per-key buffer state).
+        leftovers = source.buffer.discard(key)
+        for observation in leftovers:
+            dest.buffer.append(key, observation)
+        if leftovers:
+            dest.flush(key, blocking=True)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ClusterError("cluster has been closed")
+
+    def _workers_snapshot(self) -> dict[str, ShardWorker]:
+        with self._lock:
+            return dict(self._workers)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            shard_count = len(self._workers)
+            keys = sum(
+                len(worker.model_keys()) for worker in self._workers.values()
+            )
+        return (
+            f"ShardedSelectivityService(shards={shard_count}, keys={keys})"
+        )

@@ -1,0 +1,310 @@
+"""One shard of the serving cluster.
+
+A :class:`ShardWorker` is a complete, self-contained serving stack — its
+own :class:`~repro.serving.registry.EstimatorRegistry`,
+:class:`~repro.serving.cache.EstimateCache`,
+:class:`~repro.serving.scheduler.RefitScheduler`, and
+:class:`~repro.serving.stats.ServingStats`, composed into a private
+:class:`~repro.serving.service.SelectivityService` — plus the cluster's
+non-blocking write path: an
+:class:`~repro.cluster.buffer.ObservationBuffer` in front of the
+trainers.
+
+Reads delegate straight to the service (snapshot + cache, the PR 1
+vectorised fast path intact).  Writes go through the buffer:
+
+1. :meth:`ShardWorker.observe` prices the observation against the
+   current snapshot (a lock-free read), enqueues it, and *tries* to
+   replay — a non-blocking trainer-lock acquire.  If a refit holds the
+   lock, the observation stays buffered and the call returns in
+   microseconds.
+2. After every snapshot publish the shard's registry listener replays
+   the key's backlog.  The publish happens on the refit thread while it
+   still (re-entrantly) holds the trainer lock, so the replay lands the
+   moment training finishes in all but one adversarial interleaving (a
+   flusher mid-drain at publish time, re-raced on the retry); even
+   there, the backlog is delayed until the next observe/flush/drain for
+   the key, never lost.
+
+Nothing in a shard knows about routing; the
+:class:`~repro.cluster.service.ShardedSelectivityService` owns the ring
+and hands each shard only the keys it serves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.quicksel import QuickSel
+from repro.exceptions import ServingError
+from repro.serving.cache import EstimateCache
+from repro.serving.policy import RefitPolicy
+from repro.serving.registry import EstimatorRegistry, ModelKey
+from repro.serving.scheduler import RefitScheduler
+from repro.serving.service import SelectivityService
+from repro.serving.snapshot import ModelSnapshot
+from repro.serving.stats import ServingStats
+from repro.cluster.buffer import BufferedObservation, ObservationBuffer
+
+__all__ = ["ShardWorker"]
+
+
+def _triples(
+    items: Sequence[BufferedObservation],
+) -> list[tuple[object, float, float]]:
+    return [
+        (item.predicate, item.selectivity, item.served_estimate)
+        for item in items
+    ]
+
+
+class ShardWorker:
+    """A single shard: full serving stack plus buffered, non-blocking writes."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        policy: RefitPolicy | None = None,
+        cache_capacity: int = 4096,
+        per_key_cache_budget: int | None = None,
+        scheduler_mode: str = "background",
+        buffer_capacity: int | None = None,
+    ) -> None:
+        self._shard_id = shard_id
+        self._scheduler = RefitScheduler(scheduler_mode)
+        self._service = SelectivityService(
+            registry=EstimatorRegistry(),
+            cache=EstimateCache(
+                cache_capacity, per_key_capacity=per_key_cache_budget
+            ),
+            policy=policy,
+            scheduler=self._scheduler,
+            stats=ServingStats(),
+        )
+        self._buffer = ObservationBuffer(capacity=buffer_capacity)
+        # Replay buffered feedback the moment each refit publishes; the
+        # service's own cache-invalidation listener was registered first,
+        # so replays always price against a clean cache.
+        self._service.registry.add_listener(self._on_publish)
+
+    # ------------------------------------------------------------------
+    # Composition surface
+    # ------------------------------------------------------------------
+    @property
+    def shard_id(self) -> str:
+        """This shard's stable identity on the ring."""
+        return self._shard_id
+
+    @property
+    def service(self) -> SelectivityService:
+        """The shard-private serving stack."""
+        return self._service
+
+    @property
+    def buffer(self) -> ObservationBuffer:
+        """The shard's write-path buffer."""
+        return self._buffer
+
+    @property
+    def stats(self) -> ServingStats:
+        """The shard's metrics surface."""
+        return self._service.stats
+
+    @property
+    def scheduler(self) -> RefitScheduler:
+        """The shard's refit scheduler."""
+        return self._scheduler
+
+    # ------------------------------------------------------------------
+    # Model lifecycle (the cluster routes, we serve)
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        table: str | ModelKey,
+        trainer: QuickSel,
+        columns: Sequence[str] = (),
+        refit_backlog: bool = True,
+        initial_errors: Sequence[float] = (),
+    ) -> ModelKey:
+        """Install a trainer behind a key on this shard."""
+        return self._service.register_model(
+            table,
+            trainer,
+            columns=columns,
+            refit_backlog=refit_backlog,
+            initial_errors=initial_errors,
+        )
+
+    def unregister_model(self, key: ModelKey) -> QuickSel:
+        """Hand off a key's trainer (migration); flushes its backlog first."""
+        self.flush(key, blocking=True)
+        return self._service.unregister_model(key)
+
+    def model_keys(self) -> Sequence[ModelKey]:
+        """The keys this shard currently serves."""
+        return self._service.model_keys()
+
+    def snapshot_for(self, key: ModelKey) -> ModelSnapshot:
+        """The snapshot currently serving a key."""
+        return self._service.snapshot_for(key)
+
+    def feedback_count(self, key: ModelKey) -> int:
+        """Observations accepted for a key: absorbed by the trainer plus
+        still buffered."""
+        return self._service.feedback_count(key) + self._buffer.pending(key)
+
+    # ------------------------------------------------------------------
+    # Reads (lock-free with respect to training)
+    # ------------------------------------------------------------------
+    def estimate(self, key: ModelKey, predicate: object) -> float:
+        """Scalar estimate from the shard's current snapshot."""
+        return self._service.estimate(key, predicate)
+
+    def estimate_batch(
+        self, key: ModelKey, predicates: Sequence[object]
+    ) -> np.ndarray:
+        """Batched estimates (one snapshot version, vectorised misses)."""
+        return self._service.estimate_batch(key, predicates)
+
+    # ------------------------------------------------------------------
+    # Writes (never block on training)
+    # ------------------------------------------------------------------
+    def observe(
+        self, key: ModelKey, predicate: object, selectivity: float
+    ) -> bool:
+        """Buffer one observation and replay opportunistically.
+
+        Returns True if the replay ran *and* triggered a refit
+        submission; False when the observation was merely buffered (a
+        refit owns the trainer lock) or no refit was due.  Either way
+        the call returns without waiting on training.
+        """
+        served_estimate = self._service.current_estimate(key, predicate)
+        self._buffer.append(
+            key, BufferedObservation(predicate, selectivity, served_estimate)
+        )
+        outcome: list[bool] = []
+        try:
+            applied = self._buffer.flush(
+                key, self._apply_batch(key, blocking=False, outcome=outcome),
+                wait=False,
+            )
+            if not applied and self._buffer.pending(key):
+                # A publish may have slipped between our drain and
+                # re-queue, in which case its replay listener found an
+                # empty queue (the items were in our hands) and skipped.
+                # One more attempt closes that window: either the lock
+                # is free now (refit done) and this applies, or the
+                # refit is still running and its eventual publish will
+                # see the re-queued backlog.  The doubly-raced tail is
+                # delay-until-next-traffic, never loss — drain()/flush()
+                # always deliver.
+                self._buffer.flush(
+                    key,
+                    self._apply_batch(key, blocking=False, outcome=outcome),
+                    wait=False,
+                )
+        except ServingError:
+            # The key left this shard between the snapshot read above
+            # and the replay (a migration race).  The observation stays
+            # re-queued: the migration's final sweep forwards it if the
+            # append preceded the sweep, otherwise the next flush's
+            # orphan cleanup drops it.  Raising here would make the
+            # cluster's retry deliver it twice instead.
+            pass
+        return bool(outcome and outcome[0])
+
+    def flush(self, key: ModelKey | None = None, blocking: bool = True) -> int:
+        """Replay buffered observations into their trainers.
+
+        With ``blocking=True`` (the default) the replay waits for each
+        trainer lock — after it returns every drained observation has
+        been absorbed.  Returns the number applied.
+
+        A key the service no longer knows (an observe raced a migration
+        and buffered after the hand-off's final sweep) is dropped from
+        the buffer instead of poisoning every later flush/drain with
+        ``ServingError``; the loss is a single raced observation per
+        admin operation, visible in the buffer's ``discarded`` counter.
+        """
+
+        def flush_one(target: ModelKey) -> int:
+            try:
+                return self._buffer.flush(
+                    target, self._apply_batch(target, blocking=blocking)
+                )
+            except ServingError:
+                self._buffer.discard(target)
+                return 0
+
+        if key is not None:
+            return flush_one(key)
+        return sum(flush_one(target) for target in self._buffer.keys())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def refit_now(self, key: ModelKey) -> ModelSnapshot:
+        """Flush the key's backlog, retrain synchronously, publish."""
+        self.flush(key, blocking=True)
+        return self._service.refit_now(key)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Replay every buffered observation, then wait out refits."""
+        self.flush(blocking=True)
+        self._service.drain(timeout)
+
+    def close(self) -> None:
+        """Shut the shard down (service listener, scheduler). Idempotent."""
+        self._service.close()
+        self._scheduler.shutdown()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _on_publish(self, key: ModelKey, snapshot: ModelSnapshot) -> None:
+        # Runs on the refit thread, which still holds the trainer lock
+        # re-entrantly — the non-blocking apply cannot be refused, so the
+        # backlog lands immediately after every publish.  wait=False is
+        # load-bearing: a blocking flush elsewhere may hold the key's
+        # flush mutex while it waits for the trainer lock *we* hold, so
+        # waiting here would deadlock the refit thread against it; that
+        # flusher will absorb the backlog as soon as we release.
+        if self._buffer.pending(key):
+            self._buffer.flush(
+                key, self._apply_batch(key, blocking=False), wait=False
+            )
+
+    def _apply_batch(
+        self,
+        key: ModelKey,
+        blocking: bool,
+        outcome: list[bool] | None = None,
+    ):
+        """The buffer-flush callback: replay a batch via apply_feedback.
+
+        Maps the service's tri-state result onto the buffer contract
+        (None -> refused, re-queue); ``outcome`` (if given) receives
+        whether an applied batch triggered a refit.
+        """
+
+        def apply(items: Sequence[BufferedObservation]) -> bool:
+            result = self._service.apply_feedback(
+                key, _triples(items), blocking=blocking
+            )
+            if result is None:
+                return False
+            if outcome is not None:
+                outcome.append(bool(result))
+            return True
+
+        return apply
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWorker(id={self._shard_id!r}, "
+            f"keys={len(self._service.model_keys())}, "
+            f"pending={self._buffer.total_pending()})"
+        )

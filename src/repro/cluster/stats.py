@@ -1,0 +1,160 @@
+"""Fleet-wide metrics: per-shard serving stats rolled up into one surface.
+
+:class:`ClusterStats` presents a :class:`~repro.cluster.service.
+ShardedSelectivityService` as a single observable system.  Counters sum
+across shards; the cache hit rate is recomputed from the summed hit/miss
+counts (a mean of per-shard rates would weight an idle shard like a hot
+one); latency percentiles are computed over the *merged* per-shard
+latency reservoirs (percentiles do not average).  The per-shard view is
+kept alongside the aggregate so operators can spot a hot or unbalanced
+shard at a glance.
+
+Counters cover the *live* fleet: like any per-node metrics system, a
+shard retired by ``remove_shard`` takes its history with it (its keys'
+feedback is migrated, its counters are not).  Scrape :meth:`snapshot`
+periodically if cumulative history across resizes matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ServingError
+
+__all__ = ["ClusterStats"]
+
+_SUMMED_COUNTERS = (
+    "estimate_requests",
+    "batch_requests",
+    "predicates_served",
+    "cache_hits",
+    "cache_misses",
+    "observations",
+    "refits_triggered",
+    "refits_completed",
+)
+
+
+class ClusterStats:
+    """Aggregated metrics across every shard of a sharded service."""
+
+    def __init__(self, cluster) -> None:
+        self._cluster = cluster
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def per_shard(self) -> dict[str, dict[str, float]]:
+        """Each shard's serving-stats snapshot plus its buffer counters."""
+        views: dict[str, dict[str, float]] = {}
+        for shard_id, worker in self._workers().items():
+            view = worker.stats.snapshot()
+            view["model_keys"] = len(worker.model_keys())
+            for name, value in worker.buffer.counters().items():
+                view[f"observations_{name}"] = value
+            view["refits_coalesced"] = worker.scheduler.coalesced
+            views[shard_id] = view
+        return views
+
+    def aggregate(self) -> dict[str, float]:
+        """One fleet-wide view: summed counters, true hit rate, merged
+        latency percentiles."""
+        workers = self._workers()
+        totals: dict[str, float] = {name: 0 for name in _SUMMED_COUNTERS}
+        latencies: list[float] = []
+        buffer_totals = {
+            "appended": 0, "applied": 0, "requeued": 0, "dropped": 0,
+            "discarded": 0, "pending": 0,
+        }
+        model_keys = 0
+        for worker in workers.values():
+            counters = worker.stats.counters()
+            for name in _SUMMED_COUNTERS:
+                totals[name] += counters[name]
+            latencies.extend(worker.stats.latency_values())
+            for name, value in worker.buffer.counters().items():
+                buffer_totals[name] += value
+            model_keys += len(worker.model_keys())
+        lookups = totals["cache_hits"] + totals["cache_misses"]
+        totals["hit_rate"] = totals["cache_hits"] / lookups if lookups else 0.0
+        merged = np.array(latencies) if latencies else None
+        totals["p50_latency_seconds"] = (
+            float(np.percentile(merged, 50.0)) if merged is not None else 0.0
+        )
+        totals["p99_latency_seconds"] = (
+            float(np.percentile(merged, 99.0)) if merged is not None else 0.0
+        )
+        for name, value in buffer_totals.items():
+            totals[f"observations_{name}"] = value
+        totals["shard_count"] = len(workers)
+        totals["model_keys"] = model_keys
+        return totals
+
+    def snapshot(self) -> dict[str, object]:
+        """Aggregate plus per-shard breakdown, as plain dicts."""
+        return {"aggregate": self.aggregate(), "per_shard": self.per_shard()}
+
+    # ------------------------------------------------------------------
+    # Convenience properties (mirror ServingStats where they make sense)
+    # ------------------------------------------------------------------
+    def _summed(self, *names: str) -> dict[str, int]:
+        """Sum specific counters without touching latency reservoirs."""
+        totals = dict.fromkeys(names, 0)
+        for worker in self._workers().values():
+            counters = worker.stats.counters()
+            for name in names:
+                totals[name] += counters[name]
+        return totals
+
+    @property
+    def hit_rate(self) -> float:
+        """Fleet-wide cache hit rate over all predicates served."""
+        totals = self._summed("cache_hits", "cache_misses")
+        lookups = totals["cache_hits"] + totals["cache_misses"]
+        return totals["cache_hits"] / lookups if lookups else 0.0
+
+    @property
+    def refits_completed(self) -> int:
+        """Refits published across all shards."""
+        return int(self._summed("refits_completed")["refits_completed"])
+
+    @property
+    def observations(self) -> int:
+        """Observations absorbed by trainers across all shards."""
+        return int(self._summed("observations")["observations"])
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Fleet-wide latency percentile over the merged recent windows."""
+        if not (0.0 <= percentile <= 100.0):
+            raise ServingError("percentile must be in [0, 100]")
+        latencies: list[float] = []
+        for worker in self._workers().values():
+            latencies.extend(worker.stats.latency_values())
+        if not latencies:
+            return 0.0
+        return float(np.percentile(np.array(latencies), percentile))
+
+    @property
+    def p50_latency_seconds(self) -> float:
+        """Fleet-wide median request latency."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_seconds(self) -> float:
+        """Fleet-wide tail request latency."""
+        return self.latency_percentile(99.0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _workers(self):
+        return self._cluster._workers_snapshot()
+
+    def __repr__(self) -> str:
+        totals = self._summed("predicates_served", "refits_completed")
+        return (
+            f"ClusterStats(shards={len(self._workers())}, "
+            f"served={int(totals['predicates_served'])}, "
+            f"hit_rate={self.hit_rate:.2f}, "
+            f"refits={int(totals['refits_completed'])})"
+        )

@@ -11,13 +11,19 @@ Feedback can flow to two kinds of consumers:
 * a bare estimator (:meth:`FeedbackLoop.register_estimator`), which is
   observed directly — the seed behaviour, still used by the experiment
   harness; or
-* a :class:`~repro.serving.service.SelectivityService`
-  (:meth:`FeedbackLoop.register_service`), which accumulates the feedback
-  behind its refit policy and republishes model snapshots in the
-  background.  This is how the mini-DBMS exercises the serving layer end
-  to end: the returned :class:`~repro.serving.adapter.ServingEstimator`
-  plugs straight into the optimizer, so plan costing, feedback, and
-  retraining all route through the service.
+* a serving backend (:meth:`FeedbackLoop.register_service`) — either a
+  single-process :class:`~repro.serving.service.SelectivityService` or a
+  sharded :class:`~repro.cluster.service.ShardedSelectivityService`;
+  anything satisfying the
+  :class:`~repro.serving.adapter.SelectivityServing` protocol.  The
+  backend accumulates the feedback behind its refit policy and
+  republishes model snapshots in the background (the sharded backend
+  additionally buffers it so writes never stall behind a refit).  This
+  is how the mini-DBMS exercises the serving stack end to end: the
+  returned :class:`~repro.serving.adapter.ServingEstimator` plugs
+  straight into the optimizer, so plan costing, feedback, and retraining
+  all route through the backend — and moving a deployment from one
+  process to a shard fleet changes only which backend is handed in here.
 """
 
 from __future__ import annotations
@@ -30,8 +36,7 @@ from repro.engine.executor import Executor
 from repro.estimators.base import QueryDrivenEstimator
 from repro.core.quicksel import QuickSel
 from repro.exceptions import ServingError
-from repro.serving.adapter import ServingEstimator
-from repro.serving.service import SelectivityService
+from repro.serving.adapter import SelectivityServing, ServingEstimator
 
 __all__ = ["FeedbackLoop"]
 
@@ -59,15 +64,20 @@ class FeedbackLoop:
     def register_service(
         self,
         table_name: str,
-        service: SelectivityService,
+        service: SelectivityServing,
         trainer: QuickSel | None = None,
         columns: Sequence[str] = (),
     ) -> ServingEstimator:
-        """Route this table's feedback through a selectivity service.
+        """Route this table's feedback through a selectivity backend.
 
-        If ``trainer`` is given, it is first registered with the service
+        ``service`` may be a plain
+        :class:`~repro.serving.service.SelectivityService` or a sharded
+        :class:`~repro.cluster.service.ShardedSelectivityService` — the
+        loop only relies on the shared
+        :class:`~repro.serving.adapter.SelectivityServing` surface.  If
+        ``trainer`` is given, it is first registered with the backend
         under ``(table_name, columns)``; otherwise the key must already
-        exist in the service.  Returns the
+        exist there.  Returns the
         :class:`~repro.serving.adapter.ServingEstimator` adapter for the
         key so callers can hand the served model to the optimizer.
         """

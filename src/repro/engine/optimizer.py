@@ -21,11 +21,18 @@ predicate — so :meth:`AccessPathOptimizer.plan_many` resolves a whole
 burst with a single ``estimate_many`` call.  Handing the optimizer a
 :class:`~repro.serving.adapter.ServingEstimator` routes those probes
 through the serving layer's snapshot, cache, and vectorised batch path.
+
+Multi-table plan enumeration (join ordering, multi-statement batches)
+probes *several* tables' models in one burst; :func:`plan_many_tables`
+resolves such a burst with a single ``estimate_batch_mixed`` call when
+all the involved optimizers serve off the same backend — behind a
+:class:`~repro.cluster.service.ShardedSelectivityService` that one call
+fans out across every shard involved and reassembles in input order.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.core.predicate import BoxPredicate, Predicate
@@ -33,8 +40,14 @@ from repro.engine.index import SortedIndex
 from repro.engine.table import Table
 from repro.estimators.base import SelectivityEstimator
 from repro.exceptions import SchemaError
+from repro.serving.adapter import ServingEstimator
 
-__all__ = ["CostModel", "PlanChoice", "AccessPathOptimizer"]
+__all__ = [
+    "CostModel",
+    "PlanChoice",
+    "AccessPathOptimizer",
+    "plan_many_tables",
+]
 
 
 @dataclass(frozen=True)
@@ -189,3 +202,65 @@ class AccessPathOptimizer:
             if self._table.schema.column_index(column) in constrained_dims:
                 return column
         return None
+
+
+def plan_many_tables(
+    optimizers: Mapping[str, AccessPathOptimizer],
+    requests: Sequence[tuple[str, Predicate]],
+) -> list[PlanChoice]:
+    """Plan a burst of ``(table, predicate)`` candidates across tables.
+
+    When every requested table's optimizer serves off the *same* backend
+    through a :class:`~repro.serving.adapter.ServingEstimator`, all
+    selectivities are fetched in one ``estimate_batch_mixed`` call —
+    against a sharded backend that is one fan-out over the shards
+    involved, each shard answering its keys through its vectorised batch
+    path.  Otherwise each table's slice goes through its own optimizer's
+    :meth:`~AccessPathOptimizer.plan_many`.  Either way, plans come back
+    in input order.
+    """
+    plans: list[PlanChoice | None] = [None] * len(requests)
+    for table, _ in requests:
+        if table not in optimizers:
+            raise SchemaError(f"no optimizer registered for table {table!r}")
+    involved = {table for table, _ in requests}
+    estimators = {table: optimizers[table]._estimator for table in involved}
+    backends = {
+        id(estimator.service)
+        for estimator in estimators.values()
+        if isinstance(estimator, ServingEstimator)
+    }
+    shared_backend = (
+        len(backends) == 1
+        and all(
+            isinstance(estimator, ServingEstimator)
+            for estimator in estimators.values()
+        )
+    )
+    if shared_backend and requests:
+        service = next(iter(estimators.values())).service
+        pairs = [
+            (estimators[table].key, predicate) for table, predicate in requests
+        ]
+        selectivities = service.estimate_batch_mixed(pairs)
+        for index, (table, predicate) in enumerate(requests):
+            plans[index] = optimizers[table]._plan_with(
+                predicate, float(selectivities[index])
+            )
+    else:
+        by_table: dict[str, list[int]] = {}
+        for index, (table, _) in enumerate(requests):
+            by_table.setdefault(table, []).append(index)
+        for table, indices in by_table.items():
+            table_plans = optimizers[table].plan_many(
+                [requests[index][1] for index in indices]
+            )
+            for index, plan in zip(indices, table_plans):
+                plans[index] = plan
+    # Every slot must be filled: a silent gap would misalign plans with
+    # requests for every caller zipping the two.  Raised explicitly
+    # (not `assert`) so the invariant survives `python -O`.
+    missing = [index for index, plan in enumerate(plans) if plan is None]
+    if missing:
+        raise AssertionError(f"plan slots {missing} were never filled")
+    return [plan for plan in plans if plan is not None]

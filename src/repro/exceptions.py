@@ -18,6 +18,7 @@ __all__ = [
     "WorkloadError",
     "ExperimentError",
     "ServingError",
+    "ClusterError",
 ]
 
 
@@ -59,3 +60,7 @@ class ExperimentError(ReproError):
 
 class ServingError(ReproError):
     """The serving layer was misused (unknown model key, bad registration)."""
+
+
+class ClusterError(ReproError):
+    """The sharded serving cluster was misconfigured or misused."""

@@ -23,10 +23,10 @@ Batch-API contract: ``estimate_batch`` answers every predicate from one
 snapshot version and matches per-predicate ``estimate`` to < 1e-9.
 """
 
-from repro.serving.adapter import ServingEstimator
+from repro.serving.adapter import SelectivityServing, ServingEstimator
 from repro.serving.cache import EstimateCache, predicate_cache_key
 from repro.serving.policy import RefitDecision, RefitPolicy
-from repro.serving.registry import EstimatorRegistry, ModelKey
+from repro.serving.registry import EstimatorRegistry, ModelKey, normalize_key
 from repro.serving.scheduler import RefitScheduler
 from repro.serving.service import SelectivityService
 from repro.serving.snapshot import ModelSnapshot
@@ -35,6 +35,7 @@ from repro.serving.stats import ServingStats
 __all__ = [
     "ModelSnapshot",
     "ModelKey",
+    "normalize_key",
     "EstimatorRegistry",
     "EstimateCache",
     "predicate_cache_key",
@@ -43,5 +44,6 @@ __all__ = [
     "RefitScheduler",
     "ServingStats",
     "SelectivityService",
+    "SelectivityServing",
     "ServingEstimator",
 ]

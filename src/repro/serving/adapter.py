@@ -3,40 +3,92 @@
 :class:`ServingEstimator` lets every existing consumer of the
 :class:`~repro.estimators.base.SelectivityEstimator` protocol — the
 access-path optimizer, the join estimator, the experiment harness — talk
-to a :class:`~repro.serving.service.SelectivityService` without knowing
-it exists.  ``estimate``/``estimate_many`` read through the service's
-snapshot + cache; ``observe`` feeds the service's learning loop, so the
-adapter also satisfies the
+to a selectivity-serving backend without knowing it exists.
+``estimate``/``estimate_many`` read through the backend's snapshot +
+cache; ``observe`` feeds the backend's learning loop, so the adapter
+also satisfies the
 :class:`~repro.estimators.base.QueryDrivenEstimator` contract and plugs
 straight into :class:`~repro.engine.feedback.FeedbackLoop`.
+
+:class:`SelectivityServing` is the structural interface the adapter (and
+the engine wiring) actually requires.  Both the single-process
+:class:`~repro.serving.service.SelectivityService` and the sharded
+:class:`~repro.cluster.service.ShardedSelectivityService` satisfy it, so
+every consumer is backend-agnostic: hand it a plain service on one box
+or a shard fleet, the call sites do not change.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.core.quicksel import QuickSel
 from repro.estimators.base import PredicateLike, QueryDrivenEstimator
 from repro.serving.registry import ModelKey
-from repro.serving.service import SelectivityService
+from repro.serving.snapshot import ModelSnapshot
 
-__all__ = ["ServingEstimator"]
+__all__ = ["SelectivityServing", "ServingEstimator"]
+
+
+@runtime_checkable
+class SelectivityServing(Protocol):
+    """What a selectivity-serving backend must offer (plain or sharded)."""
+
+    def key_for(
+        self, table: "str | ModelKey", columns: Sequence[str] = ()
+    ) -> ModelKey: ...
+
+    def register_model(
+        self, table: "str | ModelKey", trainer: QuickSel,
+        columns: Sequence[str] = (),
+    ) -> ModelKey: ...
+
+    def model_keys(self) -> Sequence[ModelKey]: ...
+
+    def snapshot_for(
+        self, table: "str | ModelKey", columns: Sequence[str] = ()
+    ) -> ModelSnapshot: ...
+
+    def feedback_count(
+        self, table: "str | ModelKey", columns: Sequence[str] = ()
+    ) -> int: ...
+
+    def estimate(
+        self, table: "str | ModelKey", predicate: PredicateLike,
+        columns: Sequence[str] = (),
+    ) -> float: ...
+
+    def estimate_batch(
+        self, table: "str | ModelKey", predicates: Sequence[PredicateLike],
+        columns: Sequence[str] = (),
+    ) -> np.ndarray: ...
+
+    def estimate_batch_mixed(
+        self, pairs: Sequence[tuple["str | ModelKey", PredicateLike]]
+    ) -> np.ndarray: ...
+
+    def observe(
+        self, table: "str | ModelKey", predicate: PredicateLike,
+        selectivity: float, columns: Sequence[str] = (),
+    ) -> bool: ...
 
 
 class ServingEstimator(QueryDrivenEstimator):
-    """A :class:`SelectivityService` model key seen as a plain estimator."""
+    """A serving-backend model key seen as a plain estimator."""
 
     name = "QuickSel@serving"
 
-    def __init__(self, service: SelectivityService, key: ModelKey) -> None:
+    def __init__(self, service: SelectivityServing, key: ModelKey) -> None:
         super().__init__(service.snapshot_for(key).domain)
         self._service = service
         self._key = key
 
     @property
-    def service(self) -> SelectivityService:
-        """The backing service."""
+    def service(self) -> SelectivityServing:
+        """The backing service (plain or sharded)."""
         return self._service
 
     @property

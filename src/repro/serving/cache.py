@@ -13,6 +13,10 @@ predicate) -> estimate``.  Two design points:
   hashable token from the predicate's structure (constraint dims and
   bounds) without lowering it to geometry, so a cache *hit* costs a dict
   lookup, not a region construction.
+* **Per-key capacity budgets.**  With ``per_key_capacity`` set, no single
+  model key may hold more than that many entries: a plan-enumeration
+  burst against one hot table evicts its *own* oldest entries instead of
+  flushing every other table's working set out of the shared LRU.
 """
 
 from __future__ import annotations
@@ -79,24 +83,62 @@ def predicate_cache_key(predicate: Predicate | Hyperrectangle | Region) -> Hasha
     )
 
 
-class EstimateCache:
-    """A thread-safe LRU cache of selectivity estimates."""
+def _model_key_of(key: Hashable) -> Hashable | None:
+    """The model-key component of a cache key (None for foreign keys)."""
+    if isinstance(key, tuple) and key:
+        return key[0]
+    return None
 
-    def __init__(self, capacity: int = 4096) -> None:
+
+class EstimateCache:
+    """A thread-safe LRU cache of selectivity estimates.
+
+    ``per_key_capacity`` (optional) bounds how many entries any one model
+    key may occupy.  When a model key is at its budget, its own least
+    recently used entry is evicted first, so one hot key cannot push
+    every other key's entries out of the global LRU.  Entries whose keys
+    are not ``(model_key, ...)`` tuples are exempt from the budget (they
+    only compete in the global LRU).
+    """
+
+    def __init__(
+        self, capacity: int = 4096, per_key_capacity: int | None = None
+    ) -> None:
         if capacity < 1:
             raise ServingError("cache capacity must be at least 1")
+        if per_key_capacity is not None and per_key_capacity < 1:
+            raise ServingError("per_key_capacity must be at least 1")
         self._capacity = capacity
+        self._per_key_capacity = per_key_capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, float]" = OrderedDict()
+        # model key -> its cache keys in LRU order (an OrderedDict used
+        # as an ordered set).  Maintained only when a per-key budget is
+        # configured; the unbudgeted cache keeps the PR 1 behaviour and
+        # memory footprint.
+        self._buckets: dict[Hashable, "OrderedDict[Hashable, None]"] = {}
 
     @property
     def capacity(self) -> int:
         """Maximum number of cached estimates."""
         return self._capacity
 
+    @property
+    def per_key_capacity(self) -> int | None:
+        """Maximum entries any single model key may hold (None: unbounded)."""
+        return self._per_key_capacity
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def entries_for(self, model_key: object) -> int:
+        """How many cached estimates ``model_key`` currently holds."""
+        with self._lock:
+            if self._per_key_capacity is not None:
+                bucket = self._buckets.get(model_key)
+                return 0 if bucket is None else len(bucket)
+            return sum(1 for key in self._entries if _model_key_of(key) == model_key)
 
     def get(self, key: Hashable) -> float | None:
         """Return the cached estimate, refreshing its recency; None on miss."""
@@ -104,15 +146,34 @@ class EstimateCache:
             value = self._entries.get(key)
             if value is not None:
                 self._entries.move_to_end(key)
+                if self._per_key_capacity is not None:
+                    bucket = self._buckets.get(_model_key_of(key))
+                    if bucket is not None and key in bucket:
+                        bucket.move_to_end(key)
             return value
 
     def put(self, key: Hashable, value: float) -> None:
-        """Insert an estimate, evicting the least recently used if full."""
+        """Insert an estimate, evicting the least recently used if full.
+
+        Eviction order: the owning model key's own LRU entry while that
+        key is over its budget, then the global LRU while the cache is
+        over its total capacity.
+        """
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
+            if self._per_key_capacity is not None:
+                model_key = _model_key_of(key)
+                if model_key is not None:
+                    bucket = self._buckets.setdefault(model_key, OrderedDict())
+                    bucket[key] = None
+                    bucket.move_to_end(key)
+                    while len(bucket) > self._per_key_capacity:
+                        victim, _ = bucket.popitem(last=False)
+                        self._entries.pop(victim, None)
             while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
+                victim, _ = self._entries.popitem(last=False)
+                self._discard_from_bucket(victim)
 
     def invalidate(self, model_key: object) -> int:
         """Drop every entry belonging to ``model_key`` (on hot-swap).
@@ -122,10 +183,15 @@ class EstimateCache:
         evicted entries.
         """
         with self._lock:
+            bucket = self._buckets.pop(model_key, None)
+            if self._per_key_capacity is not None and bucket is not None:
+                for key in bucket:
+                    self._entries.pop(key, None)
+                return len(bucket)
             dead = [
                 key
                 for key in self._entries
-                if isinstance(key, tuple) and key and key[0] == model_key
+                if _model_key_of(key) == model_key
             ]
             for key in dead:
                 del self._entries[key]
@@ -135,3 +201,14 @@ class EstimateCache:
         """Drop everything."""
         with self._lock:
             self._entries.clear()
+            self._buckets.clear()
+
+    def _discard_from_bucket(self, key: Hashable) -> None:
+        """Remove an evicted entry from its bucket; caller holds the lock."""
+        if self._per_key_capacity is None:
+            return
+        bucket = self._buckets.get(_model_key_of(key))
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                self._buckets.pop(_model_key_of(key), None)

@@ -25,7 +25,7 @@ from repro.core.mixture import UniformMixtureModel
 from repro.exceptions import ServingError
 from repro.serving.snapshot import ModelSnapshot
 
-__all__ = ["ModelKey", "EstimatorRegistry"]
+__all__ = ["ModelKey", "EstimatorRegistry", "normalize_key"]
 
 PublishListener = Callable[["ModelKey", ModelSnapshot], None]
 
@@ -45,6 +45,23 @@ class ModelKey:
         if not self.columns:
             return self.table
         return f"{self.table}({', '.join(self.columns)})"
+
+
+def normalize_key(
+    table: "str | ModelKey", columns: Sequence[str] = ()
+) -> ModelKey:
+    """Normalise ``(table, columns)`` to the :class:`ModelKey` it names.
+
+    Accepts either a table name plus columns or an existing key (in which
+    case ``columns`` must be empty — the key already carries them).  The
+    plain service and the sharded cluster share this so a key means the
+    same model everywhere.
+    """
+    if isinstance(table, ModelKey):
+        if columns:
+            raise ServingError("pass columns via the ModelKey, not both")
+        return table
+    return ModelKey(table=table, columns=tuple(columns))
 
 
 class EstimatorRegistry:
@@ -100,6 +117,21 @@ class EstimatorRegistry:
     def __contains__(self, key: ModelKey) -> bool:
         with self._lock:
             return key in self._snapshots
+
+    def remove(self, key: ModelKey) -> ModelSnapshot:
+        """Withdraw a key from the registry, returning its final snapshot.
+
+        Used when a model's ownership moves elsewhere (shard migration);
+        raises :class:`ServingError` for unknown keys.  No listener fires:
+        removal is a hand-off, not a new version.
+        """
+        with self._lock:
+            try:
+                return self._snapshots.pop(key)
+            except KeyError as error:
+                raise ServingError(
+                    f"cannot remove unregistered key {key}"
+                ) from error
 
     # ------------------------------------------------------------------
     # Publication (the hot-swap)

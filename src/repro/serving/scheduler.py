@@ -5,16 +5,29 @@ the serving thread) from *running* the retrain (here).  Two modes:
 
 * ``"background"`` (default) — a single daemon worker thread drains a
   queue of refit jobs, so estimates keep being served from the current
-  snapshot while training runs.  Jobs are **coalesced per key**: while a
-  refit for a key is queued or running, further triggers for the same key
-  are dropped (the running refit will already see their feedback, and the
-  policy will simply fire again if more arrives after it finishes).
+  snapshot while training runs.  Jobs are **coalesced per key while
+  queued**: a trigger for a key whose refit has not started yet is
+  dropped (that refit will see the feedback).  A trigger that arrives
+  while the key's refit is *running* is accepted and queued — the
+  running refit trained before that feedback existed, so a follow-up is
+  the only way it ever reaches a published model if the key then goes
+  quiet.  This matters for the cluster's buffered writes, whose publish-
+  time replay fires exactly while the refit job is still on the worker.
 * ``"inline"`` — jobs run synchronously on the caller's thread; used by
   tests and by deployments that prefer deterministic refit points.
+  Inline jobs are never coalesced (nothing is ever queued); a trigger
+  fired from within a running inline job recurses, bounded by the
+  policy (a fresh refit absorbs all pending feedback, so the nested
+  decision comes up empty).
 
 :meth:`RefitScheduler.drain` blocks until every submitted job has
 finished — the synchronisation point tests and benchmarks use before
 asserting on the published version.
+
+Lifecycle is caller-proof: :meth:`RefitScheduler.shutdown` (and its
+:meth:`~RefitScheduler.close` alias) is idempotent, and draining an
+already-closed scheduler is a no-op — callers sharing a scheduler do not
+need to coordinate who tears it down.
 """
 
 from __future__ import annotations
@@ -62,6 +75,12 @@ class RefitScheduler:
         return self._mode
 
     @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` (or :meth:`close`) has been called."""
+        with self._lock:
+            return self._closed
+
+    @property
     def submitted(self) -> int:
         """Jobs accepted for execution."""
         return self._submitted
@@ -86,35 +105,37 @@ class RefitScheduler:
     # Submission
     # ------------------------------------------------------------------
     def submit(self, key: Hashable, job: Callable[[], None]) -> bool:
-        """Schedule ``job`` for ``key``; returns False if coalesced away."""
+        """Schedule ``job`` for ``key``; returns False if coalesced away.
+
+        Only *queued* jobs coalesce: the pending set holds keys whose
+        job has not started yet, so a trigger landing mid-refit queues a
+        follow-up instead of being dropped.
+        """
         with self._lock:
             if self._closed:
                 raise ServingError("scheduler has been shut down")
             if key in self._pending:
                 self._coalesced += 1
                 return False
-            self._pending.add(key)
             self._submitted += 1
             if self._mode == "background":
                 # Enqueue while still holding the lock so a concurrent
                 # shutdown() cannot slip its stop sentinel in front of
                 # this job (stranding it forever).
+                self._pending.add(key)
                 self._unfinished += 1
                 self._ensure_worker_locked()
                 self._queue.put((key, job))
                 return True
-        try:
-            self._run(key, job)
-        finally:
-            with self._lock:
-                self._pending.discard(key)
+        self._run(key, job)
         return True
 
     def drain(self, timeout: float | None = None) -> None:
         """Block until all submitted jobs have completed.
 
         ``timeout`` bounds the wait (seconds); raises :class:`ServingError`
-        if jobs are still outstanding when it expires.
+        if jobs are still outstanding when it expires.  Draining an
+        already-closed (or never-used) scheduler returns immediately.
         """
         if self._mode == "inline":
             return
@@ -136,7 +157,8 @@ class RefitScheduler:
 
         Raises :class:`ServingError` if the worker is still busy (e.g. a
         long refit) when ``timeout`` expires — quiescence was *not*
-        reached; call again to keep waiting.  Idempotent otherwise.
+        reached; call again to keep waiting.  Idempotent otherwise:
+        shutting down twice (or from several owners) is a no-op.
         """
         with self._lock:
             worker = self._worker
@@ -153,6 +175,10 @@ class RefitScheduler:
                     f"refit worker still running after {timeout}s; "
                     "call shutdown() again to keep waiting"
                 )
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Alias for :meth:`shutdown`; idempotent like it."""
+        self.shutdown(timeout)
 
     # ------------------------------------------------------------------
     # Internals
@@ -173,11 +199,17 @@ class RefitScheduler:
             if item is None:
                 return
             key, job = item
+            # Leave the pending set before running, not after: a trigger
+            # fired during the job (e.g. the cluster's publish-time
+            # backlog replay) must queue a follow-up refit, or feedback
+            # the running job trained without would never be retrained
+            # for a key that then goes quiet.
+            with self._lock:
+                self._pending.discard(key)
             try:
                 self._run(key, job)
             finally:
                 with self._all_done:
-                    self._pending.discard(key)
                     self._unfinished -= 1
                     if not self._unfinished:
                         self._all_done.notify_all()

@@ -16,6 +16,10 @@ talks to.  It composes the rest of the subsystem:
   refits run on the :class:`~repro.serving.scheduler.RefitScheduler`
   (background by default) and publish a fresh snapshot version, which
   invalidates the cache for that model.
+  :meth:`SelectivityService.apply_feedback` is the batch/deferred variant
+  of the same path: already-priced observations absorbed under one lock
+  acquisition, optionally non-blocking — the replay target for the
+  cluster's :class:`~repro.cluster.buffer.ObservationBuffer`.
 * metrics — every call is recorded on a
   :class:`~repro.serving.stats.ServingStats`.
 
@@ -39,8 +43,8 @@ from repro.core.quicksel import QuickSel
 from repro.core.region import Region
 from repro.exceptions import ServingError
 from repro.serving.cache import EstimateCache, predicate_cache_key
-from repro.serving.policy import RefitPolicy
-from repro.serving.registry import EstimatorRegistry, ModelKey
+from repro.serving.policy import RefitDecision, RefitPolicy
+from repro.serving.registry import EstimatorRegistry, ModelKey, normalize_key
 from repro.serving.scheduler import RefitScheduler
 from repro.serving.snapshot import ModelSnapshot
 from repro.serving.stats import ServingStats
@@ -74,14 +78,18 @@ class SelectivityService:
         scheduler: RefitScheduler | None = None,
         stats: ServingStats | None = None,
     ) -> None:
-        self._registry = registry or EstimatorRegistry()
-        self._cache = cache or EstimateCache()
-        self._policy = policy or RefitPolicy()
+        # `is not None` rather than `or`: an injected empty cache is
+        # falsy (it has __len__), and `or` would silently replace it
+        # with a default-capacity one.
+        self._registry = registry if registry is not None else EstimatorRegistry()
+        self._cache = cache if cache is not None else EstimateCache()
+        self._policy = policy if policy is not None else RefitPolicy()
         self._owns_scheduler = scheduler is None
-        self._scheduler = scheduler or RefitScheduler()
-        self._stats = stats or ServingStats()
+        self._scheduler = scheduler if scheduler is not None else RefitScheduler()
+        self._stats = stats if stats is not None else ServingStats()
         self._served: dict[ModelKey, _ServedModel] = {}
         self._lock = threading.RLock()
+        self._closed = False
         self._registry.add_listener(self._on_publish)
 
     # ------------------------------------------------------------------
@@ -117,9 +125,11 @@ class SelectivityService:
     # ------------------------------------------------------------------
     def register_model(
         self,
-        table: str,
+        table: str | ModelKey,
         trainer: QuickSel,
         columns: Sequence[str] = (),
+        refit_backlog: bool = True,
+        initial_errors: Sequence[float] = (),
     ) -> ModelKey:
         """Put a QuickSel trainer behind a ``(table, columns)`` model key.
 
@@ -128,6 +138,17 @@ class SelectivityService:
         (version 0) if the trainer has not been fitted yet.  The trainer
         object becomes service-owned: feed it feedback only through
         :meth:`observe` from now on.
+
+        ``refit_backlog=False`` registers the trainer *as is*: its
+        current model is served unchanged and any unabsorbed feedback is
+        carried as pending toward the refit policy instead of being
+        trained in here.  Shard migration uses this so a hand-off
+        republishes the exact model the source was serving.
+
+        ``initial_errors`` seeds the drift window (oldest first) so a
+        hand-off also carries the accumulated drift evidence — a model
+        one bad query away from a drift-triggered refit stays one bad
+        query away after it moves (see :meth:`drift_errors`).
         """
         key = self._key(table, columns)
         # Reject duplicates before touching the trainer: re-registering a
@@ -148,8 +169,9 @@ class SelectivityService:
             0 if trainer.last_refit is None
             else trainer.last_refit.observed_queries
         )
-        if trainer.observed_count > fitted_on:
+        if refit_backlog and trainer.observed_count > fitted_on:
             trainer.refit()
+            fitted_on = trainer.last_refit.observed_queries
         with self._lock:
             if key in self._served:
                 raise ServingError(f"model key {key} is already registered")
@@ -158,6 +180,8 @@ class SelectivityService:
             )
             self._registry.register(key, trainer.domain)
             served = _ServedModel(key, trainer, error_window)
+            served.pending = trainer.observed_count - fitted_on
+            served.errors.extend(initial_errors)  # maxlen keeps the newest
             self._served[key] = served
         # Same discipline as _refit: publish only under the served model's
         # lock so an initial publish cannot interleave with a refit's.
@@ -167,6 +191,32 @@ class SelectivityService:
                     key, trainer.model, trainer.last_refit.observed_queries
                 )
         return key
+
+    def unregister_model(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> QuickSel:
+        """Withdraw a key and hand back its trainer (shard migration).
+
+        Waits for an in-flight refit of the key to publish (by taking the
+        trainer lock) before removing the registry snapshot, so the
+        hand-off never races a publish.  A refit still *queued* on the
+        scheduler when the key leaves fails harmlessly there; callers
+        that care should :meth:`drain` first.  The returned trainer
+        carries all absorbed feedback and can be re-registered elsewhere
+        without retraining from scratch.
+        """
+        key = self._key(table, columns)
+        with self._lock:
+            try:
+                served = self._served.pop(key)
+            except KeyError as error:
+                raise ServingError(
+                    f"no trainer registered for key {key}; nothing to unregister"
+                ) from error
+        with served.lock:
+            self._registry.remove(key)
+        self._cache.invalidate(key)
+        return served.trainer
 
     def key_for(
         self, table: str | ModelKey, columns: Sequence[str] = ()
@@ -192,6 +242,19 @@ class SelectivityService:
         served = self._served_model(self._key(table, columns))
         with served.lock:
             return served.trainer.observed_count
+
+    def drift_errors(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> tuple[float, ...]:
+        """The key's recent served-vs-true error window, oldest first.
+
+        This is the drift trigger's evidence; migration reads it before
+        the hand-off and replays it into the destination via
+        ``register_model(initial_errors=...)``.
+        """
+        served = self._served_model(self._key(table, columns))
+        with served.lock:
+            return tuple(served.errors)
 
     # ------------------------------------------------------------------
     # Reads
@@ -252,6 +315,45 @@ class SelectivityService:
         )
         return results
 
+    def estimate_batch_mixed(
+        self, pairs: Sequence[tuple[str | ModelKey, PredicateLike]]
+    ) -> np.ndarray:
+        """Estimate a burst spanning several model keys, in input order.
+
+        The burst is grouped by key and each group goes through
+        :meth:`estimate_batch` (one snapshot resolve + one vectorised miss
+        pass per key); results land back in the positions their pairs
+        came in.  The sharded cluster exposes the same method with the
+        groups fanned out across shards.
+        """
+        results = np.empty(len(pairs))
+        groups: dict[ModelKey, tuple[list[int], list[PredicateLike]]] = {}
+        for index, (table, predicate) in enumerate(pairs):
+            key = self._key(table, ())
+            indices, predicates = groups.setdefault(key, ([], []))
+            indices.append(index)
+            predicates.append(predicate)
+        for key, (indices, predicates) in groups.items():
+            results[indices] = self.estimate_batch(key, predicates)
+        return results
+
+    def current_estimate(
+        self,
+        table: str | ModelKey,
+        predicate: PredicateLike,
+        columns: Sequence[str] = (),
+    ) -> float:
+        """The estimate the current snapshot serves, off the metrics books.
+
+        Identical to :meth:`estimate` (same snapshot, same cache) but not
+        recorded as a read request — the write path uses it to price the
+        served-vs-true error without polluting read latency percentiles.
+        """
+        key = self._key(table, columns)
+        snapshot = self._registry.current(key)
+        value, _ = self._estimate_cached(key, snapshot, predicate)
+        return value
+
     # ------------------------------------------------------------------
     # Writes (the learning loop)
     # ------------------------------------------------------------------
@@ -265,23 +367,62 @@ class SelectivityService:
         """Record engine feedback and maybe trigger a background refit.
 
         Returns True if this observation triggered a refit submission
-        (which may itself be coalesced into an already-pending one).
+        (which may itself be coalesced into an already-queued one).
         """
         key = self._key(table, columns)
         served = self._served_model(key)
         snapshot = self._registry.current(key)
         served_estimate, _ = self._estimate_cached(key, snapshot, predicate)
         with served.lock:
-            served.trainer.observe(predicate, selectivity)
-            served.pending += 1
-            served.errors.append(abs(served_estimate - selectivity))
-            decision = self._policy.decide(served.pending, served.errors)
+            decision = self._absorb(
+                served, ((predicate, selectivity, served_estimate),)
+            )
         self._stats.record_observation()
-        if not decision:
+        return self._maybe_refit(key, decision)
+
+    def apply_feedback(
+        self,
+        table: str | ModelKey,
+        feedback: Sequence[tuple[PredicateLike, float, float]],
+        columns: Sequence[str] = (),
+        blocking: bool = True,
+    ) -> bool | None:
+        """Absorb a batch of already-priced observations under one lock.
+
+        ``feedback`` holds ``(predicate, true_selectivity,
+        served_estimate)`` triples — the estimate each observation was
+        served with, priced by the caller (see :meth:`current_estimate`)
+        *before* queueing.  This is the replay half of the cluster's
+        non-blocking write path: an
+        :class:`~repro.cluster.buffer.ObservationBuffer` enqueues triples
+        without touching the trainer lock and hands them here when the
+        lock is free.
+
+        With ``blocking=False`` the call returns ``None`` immediately —
+        applying nothing — if the trainer lock is held (a refit in
+        flight).  Otherwise returns whether the batch triggered a refit
+        submission.
+        """
+        key = self._key(table, columns)
+        feedback = list(feedback)
+        if not feedback:
             return False
-        self._stats.record_refit_triggered()
-        self._scheduler.submit(key, lambda: self._refit(key))
-        return True
+        served = self._served_model(key)
+        if not served.lock.acquire(blocking=blocking):
+            return None
+        try:
+            decision = self._absorb(served, feedback)
+        finally:
+            served.lock.release()
+        self._stats.record_observations(len(feedback))
+        try:
+            return self._maybe_refit(key, decision)
+        except ServingError:
+            # The batch IS absorbed by now; a failed refit submission
+            # (scheduler shut down mid-teardown) must not escape as an
+            # error — the buffer's flush would read it as refusal,
+            # re-queue, and double-apply the same feedback later.
+            return False
 
     def refit_now(
         self, table: str | ModelKey, columns: Sequence[str] = ()
@@ -295,6 +436,12 @@ class SelectivityService:
         """Wait for all in-flight background refits to finish."""
         self._scheduler.drain(timeout)
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
     def close(self) -> None:
         """Release the service: detach from the registry, stop the scheduler.
 
@@ -304,21 +451,45 @@ class SelectivityService:
         service (cache, trainers, stats) reachable for the registry's
         lifetime.  A scheduler injected by the caller is left running
         (other services may share it); only a service-created scheduler
-        is shut down.  The service must not be used afterwards.
+        is shut down.  Idempotent: closing twice is a no-op.  The service
+        must not be used afterwards.
         """
+        with self._lock:
+            if self._closed:
+                return
         self._registry.remove_listener(self._on_publish)
         if self._owns_scheduler:
+            # May raise if a long refit is still running; the closed
+            # flag is only set after everything released, so the caller
+            # can retry close() instead of it becoming a silent no-op.
             self._scheduler.shutdown()
+        with self._lock:
+            self._closed = True
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _key(self, table: str | ModelKey, columns: Sequence[str]) -> ModelKey:
-        if isinstance(table, ModelKey):
-            if columns:
-                raise ServingError("pass columns via the ModelKey, not both")
-            return table
-        return ModelKey(table=table, columns=tuple(columns))
+        return normalize_key(table, columns)
+
+    def _absorb(
+        self,
+        served: _ServedModel,
+        feedback: Sequence[tuple[PredicateLike, float, float]],
+    ) -> RefitDecision:
+        """Feed priced observations to the trainer; caller holds its lock."""
+        for predicate, selectivity, served_estimate in feedback:
+            served.trainer.observe(predicate, selectivity)
+            served.pending += 1
+            served.errors.append(abs(served_estimate - selectivity))
+        return self._policy.decide(served.pending, served.errors)
+
+    def _maybe_refit(self, key: ModelKey, decision: RefitDecision) -> bool:
+        if not decision:
+            return False
+        self._stats.record_refit_triggered()
+        self._scheduler.submit(key, lambda: self._refit(key))
+        return True
 
     def _served_model(self, key: ModelKey) -> _ServedModel:
         with self._lock:

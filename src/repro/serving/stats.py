@@ -64,6 +64,13 @@ class ServingStats:
         with self._lock:
             self.observations += 1
 
+    def record_observations(self, count: int) -> None:
+        """Record a batch of feedback under one lock acquisition."""
+        if count < 0:
+            raise ServingError("observation count must be non-negative")
+        with self._lock:
+            self.observations += count
+
     def record_refit_triggered(self) -> None:
         """A policy trigger fired (the refit may still be coalesced)."""
         with self._lock:
@@ -84,6 +91,17 @@ class ServingStats:
             total = self.cache_hits + self.cache_misses
             return self.cache_hits / total if total else 0.0
 
+    def latency_values(self) -> tuple[float, ...]:
+        """The recent-latency reservoir, oldest first.
+
+        Cross-service aggregators (e.g. the cluster's
+        :class:`~repro.cluster.stats.ClusterStats`) merge these windows to
+        compute fleet-wide percentiles instead of averaging per-shard
+        percentiles (which would be statistically meaningless).
+        """
+        with self._lock:
+            return tuple(self._latencies)
+
     def latency_percentile(self, percentile: float) -> float:
         """Latency percentile (seconds) over the recent request window."""
         if not (0.0 <= percentile <= 100.0):
@@ -103,10 +121,15 @@ class ServingStats:
         """Tail request latency."""
         return self.latency_percentile(99.0)
 
-    def snapshot(self) -> dict[str, float]:
-        """A plain-dict view of every counter plus derived metrics."""
+    def counters(self) -> dict[str, int]:
+        """The plain counters under one lock acquisition.
+
+        Unlike :meth:`snapshot`, computes no percentiles — aggregators
+        that only sum counters (the cluster's fleet stats) use this to
+        avoid touching the latency reservoir at all.
+        """
         with self._lock:
-            counters = {
+            return {
                 "estimate_requests": self.estimate_requests,
                 "batch_requests": self.batch_requests,
                 "predicates_served": self.predicates_served,
@@ -116,6 +139,10 @@ class ServingStats:
                 "refits_triggered": self.refits_triggered,
                 "refits_completed": self.refits_completed,
             }
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict view of every counter plus derived metrics."""
+        counters: dict[str, float] = dict(self.counters())
         counters["hit_rate"] = self.hit_rate
         counters["p50_latency_seconds"] = self.p50_latency_seconds
         counters["p99_latency_seconds"] = self.p99_latency_seconds

@@ -208,6 +208,62 @@ class TestEstimateCache:
         assert predicate_cache_key(p1 | p2) != predicate_cache_key(p1 & p2)
         assert predicate_cache_key(~p1) != predicate_cache_key(p1)
 
+    def test_per_key_budget_protects_other_keys(self):
+        """A hot key's burst evicts its own LRU entries, not everyone
+        else's (the plan-enumeration-burst admission problem)."""
+        cache = EstimateCache(capacity=100, per_key_capacity=4)
+        cache.put(("cold", 1, "a"), 0.5)
+        for index in range(50):
+            cache.put(("hot", 1, index), float(index))
+        assert cache.entries_for("hot") == 4
+        assert cache.entries_for("cold") == 1
+        assert cache.get(("cold", 1, "a")) == 0.5
+        # The hot key kept its most recent entries.
+        assert cache.get(("hot", 1, 49)) == 49.0
+        assert cache.get(("hot", 1, 0)) is None
+        assert len(cache) == 5
+
+    def test_per_key_budget_respects_recency_within_key(self):
+        cache = EstimateCache(capacity=100, per_key_capacity=2)
+        cache.put(("k", 1, "a"), 0.1)
+        cache.put(("k", 1, "b"), 0.2)
+        assert cache.get(("k", 1, "a")) == 0.1  # refresh "a"
+        cache.put(("k", 1, "c"), 0.3)  # evicts "b", the key's LRU entry
+        assert cache.get(("k", 1, "b")) is None
+        assert cache.get(("k", 1, "a")) == 0.1
+
+    def test_per_key_budget_invalidate_and_global_capacity(self):
+        cache = EstimateCache(capacity=3, per_key_capacity=2)
+        cache.put(("k1", 1, "a"), 0.1)
+        cache.put(("k1", 1, "b"), 0.2)
+        cache.put(("k2", 1, "a"), 0.3)
+        cache.put(("k2", 1, "b"), 0.4)  # global capacity evicts k1's LRU
+        assert len(cache) == 3
+        assert cache.entries_for("k1") == 1
+        assert cache.invalidate("k2") == 2
+        assert cache.entries_for("k2") == 0
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(ServingError):
+            EstimateCache(per_key_capacity=0)
+
+    def test_injected_empty_cache_is_not_discarded(self):
+        """Regression: an empty EstimateCache is falsy (it has __len__),
+        so `cache or EstimateCache()` silently replaced an injected
+        small cache with a default-capacity one."""
+        small = EstimateCache(capacity=2)
+        service = make_service(cache=small)
+        assert service.cache is small
+
+    def test_unbudgeted_cache_behaviour_unchanged(self):
+        cache = EstimateCache(capacity=8)
+        assert cache.per_key_capacity is None
+        for index in range(6):
+            cache.put(("k", 1, index), float(index))
+        assert len(cache) == 6  # no per-key bound applies
+        assert cache.entries_for("k") == 6
+
     def test_cache_invalidation_on_hot_swap(self, trained_world):
         """After a publish, estimates must come from the new version even
         though the old result was cached."""
@@ -381,7 +437,7 @@ class TestRefitPolicy:
         assert triggered
         assert service.snapshot_for(key).version >= 1
 
-    def test_scheduler_coalesces_duplicate_keys(self):
+    def test_scheduler_coalesces_queued_but_not_running_keys(self):
         scheduler = RefitScheduler("inline")
         ran = []
         assert scheduler.submit("k", lambda: ran.append(1))
@@ -389,13 +445,20 @@ class TestRefitPolicy:
         assert ran == [1, 2]
         barrier = threading.Event()
         release = threading.Event()
+        followed_up = []
         background = RefitScheduler("background")
-        background.submit("k", lambda: (barrier.set(), release.wait(5)))
+        background.submit("k1", lambda: (barrier.set(), release.wait(5)))
         assert barrier.wait(5)
-        assert not background.submit("k", lambda: None)  # coalesced
+        # k1's job is *running*: a new trigger must queue a follow-up
+        # (the running refit trained before this feedback existed).
+        assert background.submit("k1", lambda: followed_up.append(1))
+        # k2's job is *queued* behind the busy worker: coalesce.
+        assert background.submit("k2", lambda: None)
+        assert not background.submit("k2", lambda: None)
         release.set()
         background.drain(timeout=10)
         assert background.coalesced == 1
+        assert followed_up == [1]
         background.shutdown()
 
     def test_scheduler_records_failures(self):
@@ -538,6 +601,162 @@ class TestSelectivityService:
         assert snapshot["cache_hits"] >= 1
         assert 0.0 <= snapshot["hit_rate"] <= 1.0
         assert snapshot["p99_latency_seconds"] >= snapshot["p50_latency_seconds"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Lifecycle hardening (double close / drain-after-close regressions)
+# ----------------------------------------------------------------------
+class TestSchedulerLifecycle:
+    def test_double_shutdown_is_a_noop(self):
+        scheduler = RefitScheduler("background")
+        ran: list[int] = []
+        scheduler.submit("k", lambda: ran.append(1))
+        scheduler.drain(timeout=10)
+        scheduler.shutdown()
+        scheduler.shutdown()  # regression: second call must not raise
+        scheduler.close()  # nor the alias
+        assert scheduler.closed
+        assert ran == [1]
+
+    def test_drain_after_close_is_a_noop(self):
+        scheduler = RefitScheduler("background")
+        scheduler.submit("k", lambda: None)
+        scheduler.shutdown()
+        scheduler.drain()  # regression: must return immediately, no error
+        scheduler.drain(timeout=0.01)
+
+    def test_inline_scheduler_lifecycle(self):
+        scheduler = RefitScheduler("inline")
+        scheduler.drain()
+        scheduler.close()
+        scheduler.close()
+        assert scheduler.closed
+
+    def test_submit_after_close_still_rejected(self):
+        scheduler = RefitScheduler("background")
+        scheduler.shutdown()
+        with pytest.raises(ServingError):
+            scheduler.submit("k", lambda: None)
+
+    def test_service_close_is_idempotent(self, trained_world):
+        dataset, _, _ = trained_world
+        service = make_service()
+        service.register_model("t", QuickSel(dataset.domain))
+        assert not service.closed
+        service.close()
+        service.close()  # regression: double close must not raise
+        assert service.closed
+        service.drain()  # drain-after-close is a no-op too
+
+
+# ----------------------------------------------------------------------
+# Hand-off surface (what the cluster builds on)
+# ----------------------------------------------------------------------
+class TestHandOffSurface:
+    def test_unregister_returns_trainer_and_forgets_key(self, trained_world):
+        dataset, feedback, _ = trained_world
+        service = make_service()
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        trainer.observe_many(feedback[:40], refit=True)
+        key = service.register_model("t", trainer)
+        service.estimate(key, feedback[50][0])
+        assert len(service.cache) == 1
+        returned = service.unregister_model(key)
+        assert returned is trainer
+        assert returned.observed_count == 40
+        assert key not in service.model_keys()
+        assert len(service.cache) == 0
+        with pytest.raises(ServingError):
+            service.estimate(key, feedback[50][0])
+        with pytest.raises(ServingError):
+            service.unregister_model(key)
+
+    def test_register_without_backlog_refit_serves_model_as_is(
+        self, trained_world
+    ):
+        dataset, feedback, _ = trained_world
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        trainer.observe_many(feedback[:40], refit=True)
+        trainer.observe_many(feedback[40:50])  # unabsorbed backlog of 10
+        model_before = trainer.model
+        service = make_service(policy=RefitPolicy(min_new_observations=12))
+        key = service.register_model("t", trainer, refit_backlog=False)
+        assert trainer.model is model_before  # no retraining happened
+        assert service.snapshot_for(key).trained_on == 40
+        # The backlog counts toward the policy: 2 more observations tip
+        # the count trigger (10 carried + 2 = 12).
+        service.observe(key, feedback[50][0], feedback[50][1])
+        triggered = service.observe(key, feedback[51][0], feedback[51][1])
+        assert triggered
+        service.drain(timeout=30)
+        assert service.snapshot_for(key).trained_on == 52
+
+    def test_apply_feedback_batches_under_one_lock(self, trained_world):
+        dataset, feedback, _ = trained_world
+        service = make_service(policy=RefitPolicy(min_new_observations=5))
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        key = service.register_model("t", trainer)
+        triples = [
+            (predicate, selectivity, service.current_estimate(key, predicate))
+            for predicate, selectivity in feedback[:5]
+        ]
+        assert service.apply_feedback(key, []) is False
+        triggered = service.apply_feedback(key, triples)
+        assert triggered is True  # count trigger fired on the batch
+        assert service.stats.observations == 5
+        assert service.feedback_count(key) == 5
+        service.drain(timeout=30)
+        assert service.snapshot_for(key).version >= 1
+
+    def test_apply_feedback_nonblocking_refuses_under_contention(
+        self, trained_world
+    ):
+        dataset, feedback, _ = trained_world
+        service = make_service()
+        trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+        key = service.register_model("t", trainer)
+        holding = threading.Event()
+        release = threading.Event()
+        refused: list[object] = []
+
+        def hold_lock():
+            with service._served_model(key).lock:
+                holding.set()
+                release.wait(timeout=5)
+
+        holder = threading.Thread(target=hold_lock)
+        holder.start()
+        assert holding.wait(timeout=5)
+        refused.append(
+            service.apply_feedback(
+                key, [(feedback[0][0], 0.5, 0.5)], blocking=False
+            )
+        )
+        release.set()
+        holder.join(timeout=5)
+        assert refused == [None]  # refused, nothing applied
+        assert service.feedback_count(key) == 0
+
+    def test_estimate_batch_mixed_matches_per_key_batches(
+        self, trained_world
+    ):
+        dataset, feedback, trained = trained_world
+        service = make_service()
+        for name in ("a", "b", "c"):
+            twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
+            twin.observe_many(feedback[:80], refit=True)
+            service.register_model(name, twin)
+        probes = [predicate for predicate, _ in feedback[80:110]]
+        pairs = [
+            (("a", "b", "c")[index % 3], predicate)
+            for index, predicate in enumerate(probes)
+        ]
+        mixed = service.estimate_batch_mixed(pairs)
+        scalar = np.array(
+            [service.estimate(table, predicate) for table, predicate in pairs]
+        )
+        np.testing.assert_allclose(mixed, scalar, rtol=0, atol=1e-12)
+        assert service.estimate_batch_mixed([]).shape == (0,)
 
 
 # ----------------------------------------------------------------------
