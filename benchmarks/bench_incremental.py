@@ -1,0 +1,412 @@
+"""Incremental-training benchmark: sustained refit throughput and parity.
+
+Measures the two claims the incremental training pipeline makes:
+
+1. **Sustained refits are >= 5x faster than from-scratch training.**
+   A 2k-query feedback stream is refitted every 16 observations with a
+   fixed subpopulation count.  The incremental path assembles only the
+   16 new A rows and updates the cached normal-equation state (at
+   moderate ``m`` the refactorisation still runs one BLAS gemm over the
+   cached rows, so per-refit cost grows slowly with the stream; at large
+   ``m`` the cholupdate path drops that too); the baseline
+   (``incremental_training=False``) is the seed pipeline — re-sampling
+   anchors and rebuilding subpopulations and both matrices in Python on
+   every refit, which grows much faster and with a far larger constant.
+
+2. **Incremental weights match from-scratch training.**  At checkpoints
+   along the stream the incremental weights are compared against
+   ``build_problem`` + ``solve`` on the *same* subpopulations; the max
+   divergence must stay within 1e-9 (the analytic refactorisation path
+   is bitwise exact; the rank-k cholupdate path — exercised in a third
+   section with the update forced on — carries only factor drift).
+
+A flops-equivalent guard rides along: every steady-state refit must
+assemble strictly fewer rows than the problem holds in total
+(``delta_rows < total_rows``), i.e. the incremental path provably does
+less assembly work than full rebuilds, independent of wall clocks.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_incremental.py --benchmark-only`` — through
+  the pytest-benchmark harness like the other benches, or
+* ``python benchmarks/bench_incremental.py [--quick] [--json PATH]`` —
+  standalone script (used by CI); ``--quick`` shrinks the stream and
+  skips the wall-clock speedup bar (shared runners are too noisy), but
+  still asserts parity and the delta-rows guard.  The full run's results
+  are committed as ``BENCH_incremental.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import QuickSelConfig
+from repro.core.incremental import IncrementalTrainer
+from repro.core.quicksel import QuickSel
+from repro.core.training import ObservedQuery, build_problem, solve
+from repro.solvers.linalg import CachedCholesky
+from repro.workloads.queries import RandomRangeQueryGenerator, labelled_feedback
+from repro.workloads.synthetic import gaussian_dataset
+
+WEIGHT_PARITY = 1e-9
+ESTIMATE_PARITY = 1e-12
+MIN_SUSTAINED_SPEEDUP = 5.0  # total refit seconds, from-scratch vs incremental
+
+
+# ----------------------------------------------------------------------
+# Workload construction
+# ----------------------------------------------------------------------
+def build_stream(stream_length: int, rows: int, seed: int = 0):
+    """A labelled feedback stream over a correlated Gaussian dataset."""
+    dataset = gaussian_dataset(rows, dimension=2, correlation=0.5, seed=seed)
+    generator = RandomRangeQueryGenerator(dataset.domain, seed=seed + 1)
+    feedback = labelled_feedback(generator.generate(stream_length), dataset.rows)
+    return dataset, feedback
+
+
+def scratch_weights(estimator: QuickSel, domain) -> np.ndarray:
+    """From-scratch training on the estimator's cached subpopulations."""
+    problem = build_problem(
+        list(estimator.trainer.subpopulations),
+        estimator.observed_queries,
+        domain=domain,
+        include_default_query=estimator.config.include_default_query,
+    )
+    return solve(
+        problem,
+        solver=estimator.config.solver,
+        penalty=estimator.config.penalty,
+        regularization=estimator.config.regularization,
+    ).weights
+
+
+# ----------------------------------------------------------------------
+# Claim 1 + 2: sustained refit throughput with parity checkpoints
+# ----------------------------------------------------------------------
+def run_stream(
+    feedback,
+    domain,
+    config: QuickSelConfig,
+    refit_interval: int,
+    parity_every: int | None = None,
+):
+    """Drive the observe/refit loop; time refits, spot-check parity."""
+    estimator = QuickSel(domain, config)
+    refit_seconds: list[float] = []
+    delta_rows: list[int] = []
+    total_rows: list[int] = []
+    incremental_flags: list[bool] = []
+    parity = 0.0
+    parity_checks = 0
+    for index, start in enumerate(range(0, len(feedback), refit_interval)):
+        estimator.observe_many(feedback[start : start + refit_interval])
+        began = time.perf_counter()
+        stats = estimator.refit()
+        refit_seconds.append(time.perf_counter() - began)
+        delta_rows.append(stats.delta_rows)
+        total_rows.append(
+            estimator.trainer.last_report.total_rows
+        )
+        incremental_flags.append(stats.incremental)
+        if parity_every is not None and (
+            index % parity_every == 0 or start + refit_interval >= len(feedback)
+        ):
+            expected = scratch_weights(estimator, domain)
+            observed = estimator.trainer.last_report.result.weights
+            parity = max(parity, float(np.abs(observed - expected).max()))
+            parity_checks += 1
+    return estimator, {
+        "refits": len(refit_seconds),
+        "total_refit_seconds": float(np.sum(refit_seconds)),
+        "mean_refit_ms": float(np.mean(refit_seconds) * 1e3),
+        "p50_refit_ms": float(np.percentile(refit_seconds, 50.0) * 1e3),
+        "p95_refit_ms": float(np.percentile(refit_seconds, 95.0) * 1e3),
+        "last_refit_ms": float(refit_seconds[-1] * 1e3),
+        "incremental_refits": int(np.sum(incremental_flags)),
+        "delta_rows": delta_rows,
+        "total_rows": total_rows,
+        "incremental_flags": incremental_flags,
+        "max_weight_parity": parity,
+        "parity_checks": parity_checks,
+    }
+
+
+def run_throughput_benchmark(
+    stream_length: int = 2_000,
+    rows: int = 8_000,
+    refit_interval: int = 16,
+    subpopulations: int = 256,
+    parity_every: int = 8,
+    check_speedup: bool = True,
+    check_parity: bool = True,
+) -> dict[str, object]:
+    """Incremental vs from-scratch refits over one feedback stream."""
+    dataset, feedback = build_stream(stream_length, rows)
+    incremental_config = QuickSelConfig(
+        fixed_subpopulations=subpopulations, random_seed=0
+    )
+    scratch_config = QuickSelConfig(
+        fixed_subpopulations=subpopulations,
+        random_seed=0,
+        incremental_training=False,
+    )
+
+    incremental_est, incremental = run_stream(
+        feedback, dataset.domain, incremental_config, refit_interval,
+        parity_every=parity_every,
+    )
+    scratch_est, scratch = run_stream(
+        feedback, dataset.domain, scratch_config, refit_interval
+    )
+
+    # The two pipelines draw different random centre sequences, so they
+    # are compared on estimate *quality*, not estimate equality: both
+    # must reproduce the feedback they trained on.
+    for estimator in (incremental_est, scratch_est):
+        errors = [
+            abs(estimator.estimate(predicate) - selectivity)
+            for predicate, selectivity in feedback[-50:]
+        ]
+        assert float(np.mean(errors)) < 0.05, (
+            "trained model fails to reproduce its own feedback"
+        )
+
+    # Flops-equivalent guard: in the steady state (every refit that did
+    # not rebuild centres) the incremental path assembles strictly fewer
+    # rows than the full problem holds.
+    steady = [
+        (delta, total)
+        for delta, total, is_incremental in zip(
+            incremental["delta_rows"],
+            incremental["total_rows"],
+            incremental["incremental_flags"],
+        )
+        if is_incremental
+    ]
+    assembled = sum(delta for delta, _ in steady)
+    full_equivalent = sum(total for _, total in steady)
+    assert all(delta < total for delta, total in steady), (
+        "incremental refits must assemble strictly fewer rows than a rebuild"
+    )
+    # With the doubling rebuild policy, log2(stream/interval) of the
+    # refits are full rebuilds; everything else must be incremental.
+    assert incremental["incremental_refits"] >= incremental["refits"] * 0.75, (
+        "steady state is not incremental: "
+        f"{incremental['incremental_refits']}/{incremental['refits']}"
+    )
+
+    speedup = scratch["total_refit_seconds"] / incremental["total_refit_seconds"]
+    results: dict[str, object] = {
+        "stream_length": stream_length,
+        "refit_interval": refit_interval,
+        "subpopulations": subpopulations,
+        "refits": incremental["refits"],
+        "incremental": {
+            key: value
+            for key, value in incremental.items()
+            if key not in ("delta_rows", "total_rows", "incremental_flags")
+        },
+        "from_scratch": {
+            key: value
+            for key, value in scratch.items()
+            if key not in ("delta_rows", "total_rows", "incremental_flags",
+                           "max_weight_parity", "parity_checks")
+        },
+        "sustained_speedup": speedup,
+        "last_refit_speedup": (
+            scratch["last_refit_ms"] / incremental["last_refit_ms"]
+        ),
+        "rows_assembled_incremental": assembled,
+        "rows_assembled_full_equivalent": full_equivalent,
+        "max_weight_parity": incremental["max_weight_parity"],
+        "weight_parity_bar": WEIGHT_PARITY,
+    }
+    if check_parity:
+        assert incremental["max_weight_parity"] <= WEIGHT_PARITY, (
+            f"incremental weights diverged {incremental['max_weight_parity']} "
+            f"from from-scratch training (bar: {WEIGHT_PARITY})"
+        )
+    if check_speedup:
+        assert speedup >= MIN_SUSTAINED_SPEEDUP, (
+            f"sustained refit speedup only {speedup:.2f}x "
+            f"(bar: {MIN_SUSTAINED_SPEEDUP}x)"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Claim 2b: the rank-k cholupdate path keeps parity too
+# ----------------------------------------------------------------------
+def run_rank_update_benchmark(
+    stream_length: int = 600,
+    rows: int = 6_000,
+    refit_interval: int = 16,
+    subpopulations: int = 128,
+) -> dict[str, object]:
+    """Force the cholupdate path and measure its parity and usage.
+
+    The default cost heuristic refactorises at benchmark-sized ``m``
+    (a fresh BLAS factorisation beats Python-level rank-1 sweeps until
+    ``m`` is in the thousands), so this section pins the update path on
+    explicitly to document its numerical behaviour.  The first half of
+    the stream primes the model in one full fit — the update regime in
+    production is a mature model absorbing small deltas, not centres
+    frozen off a handful of anchors.
+    """
+    dataset, feedback = build_stream(stream_length, rows, seed=7)
+    config = QuickSelConfig(
+        fixed_subpopulations=subpopulations,
+        random_seed=0,
+        center_rebuild_factor=1e9,  # keep centres fixed: pure update regime
+    )
+    trainer = IncrementalTrainer(
+        dataset.domain, config, factor_cache=CachedCholesky(update_cost_ratio=1.0)
+    )
+    rng = np.random.default_rng(0)
+    queries = [
+        ObservedQuery(region=p.to_region(dataset.domain), selectivity=s)
+        for p, s in feedback
+    ]
+    prime = len(queries) // 2
+    trainer.fit(queries[:prime], rng)
+    parity = 0.0
+    for upto in range(prime + refit_interval, len(queries) + 1, refit_interval):
+        report = trainer.fit(queries[:upto], rng)
+        problem = build_problem(
+            list(report.subpopulations),
+            queries[:upto],
+            domain=dataset.domain,
+            include_default_query=config.include_default_query,
+        )
+        expected = solve(
+            problem, penalty=config.penalty, regularization=config.regularization
+        ).weights
+        parity = max(parity, float(np.abs(report.result.weights - expected).max()))
+    results = {
+        "stream_length": stream_length,
+        "subpopulations": subpopulations,
+        "rank_updates": trainer.factor_cache.rank_updates,
+        "refactorizations": trainer.factor_cache.refactorizations,
+        "max_weight_parity": parity,
+        "weight_parity_bar": WEIGHT_PARITY,
+    }
+    assert trainer.factor_cache.rank_updates > 0, (
+        "rank-update section never exercised the cholupdate path"
+    )
+    assert parity <= WEIGHT_PARITY, (
+        f"cholupdate-path weights diverged {parity} (bar: {WEIGHT_PARITY})"
+    )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def run_incremental_benchmark(quick: bool = False) -> dict[str, object]:
+    if quick:
+        # CI smoke: asserts parity, the delta-rows guard, and the forced
+        # cholupdate path, but not the wall-clock speedup bar — shared
+        # runners are too noisy for hard timing assertions.
+        throughput = run_throughput_benchmark(
+            stream_length=400,
+            rows=5_000,
+            refit_interval=16,
+            subpopulations=64,
+            parity_every=4,
+            check_speedup=False,
+        )
+        rank_update = run_rank_update_benchmark(
+            stream_length=320, rows=4_000, subpopulations=48
+        )
+    else:
+        throughput = run_throughput_benchmark()
+        rank_update = run_rank_update_benchmark()
+    return {"throughput": throughput, "rank_update_path": rank_update}
+
+
+def render_report(results: dict[str, object]) -> str:
+    throughput = results["throughput"]
+    rank = results["rank_update_path"]
+    incremental = throughput["incremental"]
+    scratch = throughput["from_scratch"]
+    lines = [
+        f"incremental training benchmark ({throughput['stream_length']} "
+        f"queries, refit every {throughput['refit_interval']}, "
+        f"m={throughput['subpopulations']} fixed, "
+        f"{throughput['refits']} refits)",
+        f"  incremental   mean {incremental['mean_refit_ms']:8.2f} ms  "
+        f"p95 {incremental['p95_refit_ms']:8.2f} ms  "
+        f"last {incremental['last_refit_ms']:8.2f} ms  "
+        f"({incremental['incremental_refits']} of "
+        f"{throughput['refits']} refits incremental)",
+        f"  from-scratch  mean {scratch['mean_refit_ms']:8.2f} ms  "
+        f"p95 {scratch['p95_refit_ms']:8.2f} ms  "
+        f"last {scratch['last_refit_ms']:8.2f} ms",
+        f"  sustained speedup {throughput['sustained_speedup']:.2f}x "
+        f"(bar: {MIN_SUSTAINED_SPEEDUP}x), "
+        f"end-of-stream {throughput['last_refit_speedup']:.2f}x",
+        f"  rows assembled: {throughput['rows_assembled_incremental']} "
+        f"incremental vs {throughput['rows_assembled_full_equivalent']} "
+        f"full-rebuild equivalent",
+        f"  weight parity vs from-scratch: "
+        f"{throughput['max_weight_parity']:.2e} over "
+        f"{incremental['parity_checks']} checkpoints "
+        f"(bar: {WEIGHT_PARITY:.0e})",
+        f"rank-k cholupdate path ({rank['rank_updates']} updates, "
+        f"{rank['refactorizations']} refactorizations): "
+        f"parity {rank['max_weight_parity']:.2e}",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_sustained_refit_speedup(benchmark):
+    """Incremental refits sustain >= 5x over from-scratch training."""
+    results = benchmark.pedantic(run_throughput_benchmark, rounds=1, iterations=1)
+    benchmark.extra_info["sustained_speedup"] = results["sustained_speedup"]
+    benchmark.extra_info["max_weight_parity"] = results["max_weight_parity"]
+
+
+def test_rank_update_path_parity(benchmark):
+    """The forced cholupdate path stays within the weight-parity bar."""
+    results = benchmark.pedantic(run_rank_update_benchmark, rounds=1, iterations=1)
+    benchmark.extra_info["rank_updates"] = results["rank_updates"]
+    benchmark.extra_info["max_weight_parity"] = results["max_weight_parity"]
+
+
+# ----------------------------------------------------------------------
+# Standalone CLI (used by CI's smoke run)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (skips the timing bar, "
+        "keeps parity and delta-rows assertions)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the results dict as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    results = run_incremental_benchmark(quick=args.quick)
+    print(render_report(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
+    print("incremental benchmark: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ The public surface of the paper's contribution:
 
 from repro.core.config import QuickSelConfig
 from repro.core.geometry import Hyperrectangle, Interval
+from repro.core.incremental import FitReport, IncrementalTrainer
 from repro.core.mixture import UniformMixtureModel
 from repro.core.predicate import (
     BoxPredicate,
@@ -29,12 +30,17 @@ from repro.core.predicate import (
 )
 from repro.core.quicksel import QuickSel, RefitStats
 from repro.core.region import Region
-from repro.core.subpopulation import Subpopulation, SubpopulationBuilder
+from repro.core.subpopulation import (
+    AnchorReservoir,
+    Subpopulation,
+    SubpopulationBuilder,
+)
 from repro.core.training import (
     ObservedQuery,
     TrainingProblem,
     TrainingResult,
     build_problem,
+    default_query_row,
     solve,
 )
 
@@ -55,6 +61,7 @@ __all__ = [
     "or_",
     "not_",
     "QuickSelConfig",
+    "AnchorReservoir",
     "Subpopulation",
     "SubpopulationBuilder",
     "UniformMixtureModel",
@@ -62,7 +69,10 @@ __all__ = [
     "TrainingProblem",
     "TrainingResult",
     "build_problem",
+    "default_query_row",
     "solve",
+    "FitReport",
+    "IncrementalTrainer",
     "QuickSel",
     "RefitStats",
 ]

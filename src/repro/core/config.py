@@ -53,6 +53,23 @@ class QuickSelConfig:
         include_default_query: include the implicit query ``(B_0, 1)``
             stating that the whole domain has selectivity 1 (Section 2.2).
         random_seed: seed for the subpopulation sampling RNG.
+        incremental_training: reuse the assembled training problem across
+            refits — only the newly observed queries' A rows are computed
+            and folded into the cached normal-equation accumulators
+            (rank-k updates).  Off, every refit rebuilds subpopulations
+            and matrices from scratch, the seed pipeline's behaviour.
+        center_rebuild_factor: rebuild the subpopulation centres (a full,
+            non-incremental refit) once the observed-query count has grown
+            by this factor since the last rebuild; in between, centres are
+            reused so the model size ``m`` stays fixed and refits stay
+            incremental.
+        center_rebuild_every: additionally force a centre rebuild every
+            this many refits (None disables the cadence trigger).
+        anchor_reservoir_capacity: size of the uniform reservoir of anchor
+            points maintained across refits; centre rebuilds draw from the
+            reservoir instead of re-sampling every observed region.  Keep
+            it above ``max_subpopulations`` or the reservoir caps the
+            model size.
     """
 
     points_per_predicate: int = 10
@@ -66,6 +83,10 @@ class QuickSelConfig:
     regularization: float = 1.0e-9
     include_default_query: bool = True
     random_seed: int | None = 0
+    incremental_training: bool = True
+    center_rebuild_factor: float = 2.0
+    center_rebuild_every: int | None = None
+    anchor_reservoir_capacity: int = 8192
 
     def __post_init__(self) -> None:
         if self.points_per_predicate < 1:
@@ -86,6 +107,12 @@ class QuickSelConfig:
             )
         if self.regularization < 0:
             raise TrainingError("regularization must be non-negative")
+        if self.center_rebuild_factor < 1.0:
+            raise TrainingError("center_rebuild_factor must be >= 1.0")
+        if self.center_rebuild_every is not None and self.center_rebuild_every < 1:
+            raise TrainingError("center_rebuild_every must be >= 1 when set")
+        if self.anchor_reservoir_capacity < 1:
+            raise TrainingError("anchor_reservoir_capacity must be >= 1")
 
     def subpopulation_budget(self, observed_queries: int) -> int:
         """Model size ``m`` for a given number of observed queries."""

@@ -18,7 +18,6 @@ experiment harness can drive it interchangeably with the baselines.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -26,18 +25,24 @@ import numpy as np
 
 from repro.core.config import QuickSelConfig
 from repro.core.geometry import Hyperrectangle
+from repro.core.incremental import IncrementalTrainer
 from repro.core.mixture import UniformMixtureModel
 from repro.core.predicate import Predicate, as_region, lower_batch
 from repro.core.region import Region
 from repro.core.subpopulation import SubpopulationBuilder
-from repro.core.training import ObservedQuery, build_problem, solve
+from repro.core.training import ObservedQuery
 
 __all__ = ["QuickSel", "RefitStats"]
 
 
 @dataclass(frozen=True)
 class RefitStats:
-    """Diagnostics for the most recent model refit."""
+    """Diagnostics for the most recent model refit.
+
+    ``incremental`` is True when the refit extended the cached training
+    problem with only the ``delta_rows`` newly observed queries instead
+    of rebuilding subpopulations and matrices from scratch.
+    """
 
     observed_queries: int
     subpopulations: int
@@ -45,6 +50,8 @@ class RefitStats:
     constraint_residual: float
     build_seconds: float
     solve_seconds: float
+    incremental: bool = False
+    delta_rows: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -66,9 +73,13 @@ class QuickSel:
         self._config = config or QuickSelConfig()
         self._rng = np.random.default_rng(self._config.random_seed)
         self._builder = SubpopulationBuilder(domain, self._config)
+        self._trainer = IncrementalTrainer(
+            domain, self._config, builder=self._builder
+        )
         self._queries: list[ObservedQuery] = []
         self._model: UniformMixtureModel | None = None
         self._stale = True
+        self._trained_count = 0
         self._last_refit: RefitStats | None = None
 
     # ------------------------------------------------------------------
@@ -108,6 +119,16 @@ class QuickSel:
     def last_refit(self) -> RefitStats | None:
         """Diagnostics of the most recent refit (None before the first)."""
         return self._last_refit
+
+    @property
+    def trained_count(self) -> int:
+        """High-water mark: observed queries absorbed by the last refit."""
+        return self._trained_count
+
+    @property
+    def trainer(self) -> IncrementalTrainer:
+        """The incremental trainer holding the cached training problem."""
+        return self._trainer
 
     # ------------------------------------------------------------------
     # The query-driven learning loop
@@ -156,39 +177,31 @@ class QuickSel:
             self.refit()
 
     def refit(self) -> RefitStats:
-        """Rebuild subpopulations and solve for the mixture weights."""
-        build_start = time.perf_counter()
-        regions = [query.region for query in self._queries]
-        subpopulations = self._builder.build(regions, self._rng)
-        problem = build_problem(
-            subpopulations,
-            self._queries,
-            domain=self._domain,
-            include_default_query=self._config.include_default_query,
-        )
-        build_seconds = time.perf_counter() - build_start
+        """Retrain on the observed feedback and refresh the model.
 
-        solve_start = time.perf_counter()
-        result = solve(
-            problem,
-            solver=self._config.solver,
-            penalty=self._config.penalty,
-            regularization=self._config.regularization,
-        )
-        solve_seconds = time.perf_counter() - solve_start
-
-        model = UniformMixtureModel(subpopulations, result.weights)
+        In the steady state this is *incremental*: the trainer reuses the
+        cached subpopulations and normal-equation accumulators and folds
+        in only the queries observed since the last refit (the
+        ``_trained_count`` high-water mark).  Centre rebuilds — the first
+        refit, rebuild-policy triggers, or ``incremental_training=False``
+        — transparently fall back to full assembly.
+        """
+        report = self._trainer.fit(self._queries, self._rng)
+        model = UniformMixtureModel(report.subpopulations, report.result.weights)
         if self._config.clip_negative_weights:
             model = model.clipped()
         self._model = model
         self._stale = False
+        self._trained_count = self._trainer.trained_count
         self._last_refit = RefitStats(
             observed_queries=len(self._queries),
-            subpopulations=len(subpopulations),
-            solver=result.solver,
-            constraint_residual=result.constraint_residual,
-            build_seconds=build_seconds,
-            solve_seconds=solve_seconds,
+            subpopulations=len(report.subpopulations),
+            solver=report.result.solver,
+            constraint_residual=report.result.constraint_residual,
+            build_seconds=report.build_seconds,
+            solve_seconds=report.solve_seconds,
+            incremental=report.incremental,
+            delta_rows=report.delta_rows,
         )
         return self._last_refit
 

@@ -28,7 +28,12 @@ from repro.core.geometry import Hyperrectangle
 from repro.core.region import Region
 from repro.exceptions import TrainingError
 
-__all__ = ["Subpopulation", "SubpopulationBuilder", "generate_anchor_points"]
+__all__ = [
+    "AnchorReservoir",
+    "Subpopulation",
+    "SubpopulationBuilder",
+    "generate_anchor_points",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,81 @@ def generate_anchor_points(
     if not chunks:
         raise TrainingError("no non-empty predicate regions to anchor on")
     return np.concatenate(chunks, axis=0)
+
+
+class AnchorReservoir:
+    """A bounded uniform sample over every anchor point ever generated.
+
+    The incremental trainer feeds each newly observed region's anchor
+    points in exactly once; centre rebuilds then draw from the reservoir
+    instead of re-sampling all ``n`` observed regions, making the anchor
+    cost of a refit ``O(Δn)`` rather than ``O(n)``.  Replacement follows
+    Vitter's Algorithm R (vectorised per batch), so after any number of
+    :meth:`add` calls the kept points are a uniform sample of everything
+    seen.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise TrainingError("reservoir capacity must be >= 1")
+        self._capacity = capacity
+        self._points: np.ndarray | None = None
+        self._count = 0
+        self._seen = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of points retained."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Total anchor points ever offered to the reservoir."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, points: np.ndarray, rng: np.random.Generator) -> None:
+        """Offer a ``(k, d)`` batch of anchor points to the reservoir."""
+        batch = np.asarray(points, dtype=float)
+        if batch.ndim != 2:
+            raise TrainingError(
+                f"anchor batch must have shape (k, d); got {batch.shape}"
+            )
+        if batch.shape[0] == 0:
+            return
+        if self._points is None:
+            self._points = np.empty((self._capacity, batch.shape[1]))
+        elif batch.shape[1] != self._points.shape[1]:
+            raise TrainingError(
+                f"anchor dimension {batch.shape[1]} does not match reservoir "
+                f"dimension {self._points.shape[1]}"
+            )
+        free = self._capacity - self._count
+        head = batch[:free]
+        if head.shape[0]:
+            self._points[self._count : self._count + head.shape[0]] = head
+            self._count += head.shape[0]
+            self._seen += head.shape[0]
+        tail = batch[free:]
+        if tail.shape[0]:
+            # Algorithm R, vectorised: point with global index t replaces a
+            # random slot with probability capacity / (t + 1).  Duplicate
+            # slot picks keep the later point, matching the sequential
+            # algorithm's behaviour.
+            indices = self._seen + np.arange(tail.shape[0])
+            accept = rng.random(tail.shape[0]) < self._capacity / (indices + 1)
+            slots = rng.integers(0, self._capacity, size=tail.shape[0])
+            if accept.any():
+                self._points[slots[accept]] = tail[accept]
+            self._seen += tail.shape[0]
+
+    def points(self) -> np.ndarray:
+        """A copy of the retained anchor points, ``(len(self), d)``."""
+        if self._points is None:
+            return np.zeros((0, 0))
+        return self._points[: self._count].copy()
 
 
 class SubpopulationBuilder:
@@ -111,6 +191,25 @@ class SubpopulationBuilder:
         anchors = generate_anchor_points(
             regions, self._config.points_per_predicate, rng
         )
+        return self.build_from_points(anchors, budget, rng)
+
+    def build_from_points(
+        self,
+        anchors: np.ndarray,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> list[Subpopulation]:
+        """Construct subpopulations from an existing anchor-point cloud.
+
+        The incremental trainer maintains its anchor cloud in an
+        :class:`AnchorReservoir` across refits and hands it here on centre
+        rebuilds, skipping the per-region re-sampling of :meth:`build`.
+        """
+        if budget < 1:
+            raise TrainingError("subpopulation budget must be >= 1")
+        anchors = np.asarray(anchors, dtype=float)
+        if anchors.ndim != 2 or anchors.shape[0] == 0:
+            raise TrainingError("anchor point cloud is empty")
         centers = self._choose_centers(anchors, budget, rng)
         widths = self._center_widths(centers)
         subpopulations = []

@@ -31,8 +31,13 @@ __all__ = [
 ]
 
 QUERY_DRIVEN_ESTIMATORS: dict[str, Callable[..., SelectivityEstimator]] = {
+    # By-name construction mirrors the paper's method labels, so it pins
+    # the paper's from-scratch training pipeline (the production default
+    # is incremental; see experiments.harness.paper_config).  Pass an
+    # explicit config to override.
     "QuickSel": lambda domain, **kw: QuickSel(
-        domain, config=kw.get("config", QuickSelConfig())
+        domain,
+        config=kw.get("config", QuickSelConfig(incremental_training=False)),
     ),
     "STHoles": lambda domain, **kw: STHoles(
         domain, max_buckets=kw.get("max_buckets", 1000)

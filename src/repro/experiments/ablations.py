@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.core.config import QuickSelConfig
 from repro.core.quicksel import QuickSel
 from repro.experiments.datasets import make_bundle
-from repro.experiments.harness import evaluate
+from repro.experiments.harness import evaluate, paper_config
 from repro.experiments.reporting import format_table
 
 __all__ = [
@@ -89,7 +89,7 @@ def run_penalty_ablation(
     """Sweep the constraint penalty λ of Problem 3."""
     return [
         _run_config(
-            QuickSelConfig(penalty=penalty, random_seed=seed),
+            paper_config(penalty=penalty, random_seed=seed),
             "penalty",
             f"lambda={penalty:g}",
             train_queries,
@@ -110,7 +110,7 @@ def run_clipping_ablation(
     """Compare clipping negative weights vs using the raw analytic solution."""
     return [
         _run_config(
-            QuickSelConfig(clip_negative_weights=clip, random_seed=seed),
+            paper_config(clip_negative_weights=clip, random_seed=seed),
             "clip_negative_weights",
             str(clip),
             train_queries,
@@ -132,7 +132,7 @@ def run_anchor_points_ablation(
     """Sweep the number of anchor points sampled inside each predicate."""
     return [
         _run_config(
-            QuickSelConfig(points_per_predicate=count, random_seed=seed),
+            paper_config(points_per_predicate=count, random_seed=seed),
             "points_per_predicate",
             str(count),
             train_queries,
@@ -153,7 +153,7 @@ def run_solver_ablation(
     """Compare the three solvers on identical training problems."""
     return [
         _run_config(
-            QuickSelConfig(solver=solver, random_seed=seed),
+            paper_config(solver=solver, random_seed=seed),
             "solver",
             solver,
             train_queries,

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import QuickSelConfig
 from repro.core.geometry import Hyperrectangle
 from repro.core.quicksel import QuickSel
 from repro.estimators.isomer import Isomer
@@ -25,7 +24,11 @@ from repro.estimators.isomer_qp import IsomerQP
 from repro.estimators.query_model import QueryModel
 from repro.estimators.stholes import STHoles
 from repro.experiments.datasets import make_bundle
-from repro.experiments.harness import TrialRecord, sweep_query_driven
+from repro.experiments.harness import (
+    TrialRecord,
+    paper_config,
+    sweep_query_driven,
+)
 from repro.experiments.reporting import format_series, format_table
 
 __all__ = ["Figure3Result", "run_figure3", "default_factories"]
@@ -34,7 +37,7 @@ __all__ = ["Figure3Result", "run_figure3", "default_factories"]
 def default_factories(seed: int = 0, include_slow: bool = True):
     """Estimator factories for the Figure 3/4 sweeps."""
     factories = {
-        "QuickSel": lambda domain: QuickSel(domain, QuickSelConfig(random_seed=seed)),
+        "QuickSel": lambda domain: QuickSel(domain, paper_config(random_seed=seed)),
         "QueryModel": lambda domain: QueryModel(domain),
     }
     if include_slow:

@@ -19,10 +19,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import QuickSelConfig
 from repro.core.quicksel import QuickSel
 from repro.estimators.auto_hist import AutoHist
 from repro.estimators.auto_sample import AutoSample
+from repro.experiments.harness import paper_config
 from repro.experiments.metrics import mean_relative_error
 from repro.experiments.reporting import format_series, format_table
 from repro.workloads.shifts import CorrelationDriftScenario
@@ -119,7 +119,7 @@ def run_figure5(
     )
     quicksel = QuickSel(
         domain,
-        QuickSelConfig(fixed_subpopulations=parameter_budget, random_seed=seed),
+        paper_config(fixed_subpopulations=parameter_budget, random_seed=seed),
     )
     update_seconds = {"AutoHist": 0.0, "AutoSample": 0.0, "QuickSel": 0.0}
 

@@ -16,11 +16,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import QuickSelConfig
 from repro.core.subpopulation import SubpopulationBuilder
 from repro.core.training import ObservedQuery, build_problem
 from repro.estimators.base import as_region
 from repro.experiments.datasets import make_bundle
+from repro.experiments.harness import paper_config
 from repro.experiments.reporting import format_series
 from repro.solvers.analytic import solve_penalized_qp
 from repro.solvers.projected_gradient import solve_projected_gradient
@@ -104,7 +104,7 @@ def run_figure6(
         seed=seed,
         correlation=0.5,
     )
-    config = QuickSelConfig(random_seed=seed)
+    config = paper_config(random_seed=seed)
     builder = SubpopulationBuilder(bundle.domain, config)
     rng = np.random.default_rng(seed)
 

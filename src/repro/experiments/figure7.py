@@ -17,11 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import QuickSelConfig
 from repro.core.quicksel import QuickSel
 from repro.estimators.auto_hist import AutoHist
 from repro.estimators.auto_sample import AutoSample
-from repro.experiments.harness import evaluate
+from repro.experiments.harness import evaluate, paper_config
 from repro.experiments.reporting import format_series
 from repro.workloads.queries import (
     FixedRangeQueryGenerator,
@@ -183,7 +182,7 @@ def run_figure7a(
             test_gen, dataset.rows, test_queries, min_selectivity=_MIN_SELECTIVITY
         )
         estimator = _train_quicksel(
-            dataset.domain, train, QuickSelConfig(random_seed=seed)
+            dataset.domain, train, paper_config(random_seed=seed)
         )
         relative, _, _ = evaluate(estimator, test)
         points.append(
@@ -216,7 +215,7 @@ def run_figure7b(
         stream = labelled_feedback(
             generator.generate(total_queries + block), dataset.rows
         )
-        estimator = QuickSel(dataset.domain, QuickSelConfig(random_seed=seed))
+        estimator = QuickSel(dataset.domain, paper_config(random_seed=seed))
         observed = 0
         while observed + block <= total_queries:
             for predicate, selectivity in stream[observed : observed + block]:
@@ -257,7 +256,7 @@ def run_figure7c(
         estimator = _train_quicksel(
             dataset.domain,
             train,
-            QuickSelConfig(fixed_subpopulations=budget, random_seed=seed),
+            paper_config(fixed_subpopulations=budget, random_seed=seed),
         )
         relative, _, _ = evaluate(estimator, test)
         points.append(
@@ -310,7 +309,7 @@ def run_figure7d(
         )
         auto_sample.refresh()
         quicksel = _train_quicksel(
-            dataset.domain, train, QuickSelConfig(random_seed=seed)
+            dataset.domain, train, paper_config(random_seed=seed)
         )
 
         for method, estimator in (

@@ -18,12 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import QuickSelConfig
 from repro.core.quicksel import QuickSel
 from repro.estimators.isomer import Isomer
 from repro.exceptions import ExperimentError
 from repro.experiments.datasets import make_bundle
-from repro.experiments.harness import evaluate
+from repro.experiments.harness import evaluate, paper_config
 from repro.experiments.reporting import format_table
 
 __all__ = ["Table3Row", "Table3Result", "run_table3", "SCALES"]
@@ -129,7 +128,7 @@ def run_table3(
         iso_rel, iso_abs, _, iso_ms, iso_params = _train_and_measure(
             isomer, bundle, points["isomer_efficiency"]
         )
-        quicksel = QuickSel(bundle.domain, QuickSelConfig(random_seed=seed))
+        quicksel = QuickSel(bundle.domain, paper_config(random_seed=seed))
         qs_rel, qs_abs, _, qs_ms, qs_params = _train_and_measure(
             quicksel, bundle, points["quicksel"]
         )
@@ -152,7 +151,7 @@ def run_table3(
         _, iso_small_abs, _, iso_small_ms, iso_small_params = _train_and_measure(
             isomer_small, bundle, points["isomer_accuracy"]
         )
-        quicksel_b = QuickSel(bundle.domain, QuickSelConfig(random_seed=seed + 1))
+        quicksel_b = QuickSel(bundle.domain, paper_config(random_seed=seed + 1))
         _, qs_b_abs, _, qs_b_ms, qs_b_params = _train_and_measure(
             quicksel_b, bundle, points["quicksel"]
         )

@@ -16,6 +16,8 @@ from repro.solvers.iterative_scaling import (
     solve_iterative_scaling,
 )
 from repro.solvers.linalg import (
+    CachedCholesky,
+    cholesky_update,
     project_to_simplex_nonneg,
     regularized_solve,
     symmetrize,
@@ -38,4 +40,6 @@ __all__ = [
     "symmetrize",
     "regularized_solve",
     "project_to_simplex_nonneg",
+    "cholesky_update",
+    "CachedCholesky",
 ]

@@ -49,12 +49,20 @@ def solve_projected_gradient(
     max_iterations: int = 2000,
     tolerance: float = 1.0e-8,
     initial: np.ndarray | None = None,
+    gram: np.ndarray | None = None,
+    rhs: np.ndarray | None = None,
 ) -> ProjectedGradientResult:
     """Solve the penalised QP iteratively with non-negativity projection.
 
     The step size is set from the Lipschitz constant of the gradient
     (twice the largest eigenvalue of ``Q + λAᵀA``), so the iteration is a
     plain, provably-convergent projected gradient method.
+
+    Callers that maintain the normal-equation accumulators incrementally
+    (the :class:`~repro.core.incremental.IncrementalTrainer`) can pass
+    ``gram = Q + λAᵀA`` and ``rhs = λAᵀs`` to skip the ``O(n·m²)``
+    re-aggregation over the full constraint history; ``initial`` warm-
+    starts the iteration from a previous solution.
     """
     Q = symmetrize(np.asarray(Q, dtype=float))
     A = np.asarray(A, dtype=float)
@@ -69,8 +77,20 @@ def solve_projected_gradient(
     if max_iterations < 1:
         raise SolverError("max_iterations must be >= 1")
 
-    hessian = Q + penalty * (A.T @ A)
-    rhs = penalty * (A.T @ s)
+    if (gram is None) != (rhs is None):
+        raise SolverError("gram and rhs must be provided together")
+    if gram is not None and rhs is not None:
+        hessian = symmetrize(np.asarray(gram, dtype=float))
+        rhs = np.asarray(rhs, dtype=float)
+        if hessian.shape != (m, m):
+            raise SolverError(
+                f"gram must have shape ({m}, {m}); got {hessian.shape}"
+            )
+        if rhs.shape != (m,):
+            raise SolverError(f"rhs must have shape ({m},); got {rhs.shape}")
+    else:
+        hessian = Q + penalty * (A.T @ A)
+        rhs = penalty * (A.T @ s)
 
     # Lipschitz constant of the gradient 2 H w - 2 rhs.
     try:

@@ -46,8 +46,13 @@ def solve_constrained_qp(
     s: np.ndarray,
     max_iterations: int = 500,
     tolerance: float = 1.0e-10,
+    initial: np.ndarray | None = None,
 ) -> ScipyQPResult:
-    """Solve Theorem 1's QP with equality and positivity constraints."""
+    """Solve Theorem 1's QP with equality and positivity constraints.
+
+    ``initial`` warm-starts SLSQP (``x0``) from a previous solution; it is
+    clipped to the positivity bounds before use.
+    """
     Q = symmetrize(np.asarray(Q, dtype=float))
     A = np.asarray(A, dtype=float)
     s = np.asarray(s, dtype=float)
@@ -71,7 +76,13 @@ def solve_constrained_qp(
         }
     ]
     bounds = [(0.0, None)] * m
-    initial = np.full(m, max(float(s.mean()) if s.size else 1.0, 1.0e-6))
+    if initial is not None:
+        initial = np.asarray(initial, dtype=float)
+        if initial.shape != (m,):
+            raise SolverError(f"initial must have shape ({m},)")
+        initial = np.clip(initial, 0.0, None)
+    else:
+        initial = np.full(m, max(float(s.mean()) if s.size else 1.0, 1.0e-6))
 
     result = optimize.minimize(
         objective,

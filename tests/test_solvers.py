@@ -137,6 +137,29 @@ class TestProjectedGradient:
         with pytest.raises(SolverError):
             solve_projected_gradient(Q, A, s, penalty=-1)
 
+    def test_precomputed_gram_matches_internal_aggregation(self, tiny_problem):
+        """The incremental path hands in G = Q + λAᵀA and b = λAᵀs."""
+        Q, A, s = tiny_problem
+        penalty = 1.0e6
+        gram = Q + penalty * (A.T @ A)
+        rhs = penalty * (A.T @ s)
+        from_gram = solve_projected_gradient(
+            Q, A, s, penalty=penalty, gram=gram, rhs=rhs
+        )
+        internal = solve_projected_gradient(Q, A, s, penalty=penalty)
+        np.testing.assert_allclose(from_gram.weights, internal.weights, atol=1e-9)
+
+    def test_precomputed_gram_shape_validated(self, tiny_problem):
+        Q, A, s = tiny_problem
+        with pytest.raises(SolverError):
+            solve_projected_gradient(Q, A, s, gram=np.eye(3), rhs=np.ones(3))
+        with pytest.raises(SolverError):
+            solve_projected_gradient(Q, A, s, gram=np.eye(2), rhs=np.ones(3))
+        with pytest.raises(SolverError):  # gram and rhs come as a pair
+            solve_projected_gradient(Q, A, s, gram=np.eye(2))
+        with pytest.raises(SolverError):
+            solve_projected_gradient(Q, A, s, rhs=np.ones(2))
+
 
 class TestScipySolver:
     def test_matches_exact_solution(self, tiny_problem):
@@ -155,6 +178,21 @@ class TestScipySolver:
         Q, A, s = tiny_problem
         with pytest.raises(SolverError):
             solve_constrained_qp(Q, A[:, :1], s)
+        with pytest.raises(SolverError):
+            solve_constrained_qp(Q, A, s, initial=np.ones(5))
+
+    def test_warm_start_from_solution_converges_fast(self, tiny_problem):
+        Q, A, s = tiny_problem
+        cold = solve_constrained_qp(Q, A, s)
+        warm = solve_constrained_qp(Q, A, s, initial=cold.weights)
+        np.testing.assert_allclose(warm.weights, cold.weights, atol=1e-4)
+        assert warm.iterations <= cold.iterations
+
+    def test_negative_warm_start_clipped_to_bounds(self, tiny_problem):
+        Q, A, s = tiny_problem
+        result = solve_constrained_qp(Q, A, s, initial=np.array([-1.0, -1.0]))
+        assert (result.weights >= 0).all()
+        np.testing.assert_allclose(result.weights, [0.7, 0.3], atol=1e-3)
 
 
 class TestIterativeScaling:

@@ -6,10 +6,15 @@ import numpy as np
 import pytest
 
 from repro.core.config import QuickSelConfig
-from repro.core.geometry import Hyperrectangle
+from repro.core.geometry import Hyperrectangle, stack_bounds
 from repro.core.region import Region
 from repro.core.subpopulation import Subpopulation, SubpopulationBuilder
-from repro.core.training import ObservedQuery, build_problem, solve
+from repro.core.training import (
+    ObservedQuery,
+    build_problem,
+    default_query_row,
+    solve,
+)
 from repro.exceptions import TrainingError
 
 
@@ -80,6 +85,29 @@ class TestBuildProblem:
         with pytest.raises(TrainingError):
             build_problem([], [], domain=unit_square)
 
+    def test_default_query_row_is_exact_ones_for_clipped_subs(self, unit_square):
+        """Domain-contained subpopulations: |B_0 ∩ G_j| = |G_j|, row = 1."""
+        subpopulations = [sub([[0.1, 0.4], [0.2, 0.9]]), sub([[0.5, 1], [0, 1]])]
+        problem = build_problem(
+            subpopulations, [query([[0, 1], [0, 1]], 1.0)], domain=unit_square
+        )
+        assert (problem.A[0] == 1.0).all()  # exact, not approximate
+
+    def test_default_query_row_handles_out_of_domain_subs(self, unit_square):
+        """Caller-supplied boxes sticking out of B_0 keep the true fraction."""
+        outside = sub([[0.5, 1.5], [0, 1]])  # half inside the unit square
+        problem = build_problem(
+            [outside], [query([[0, 1], [0, 1]], 1.0)], domain=unit_square
+        )
+        assert problem.A[0, 0] == pytest.approx(0.5)
+
+    def test_default_query_row_helper(self, unit_square):
+        boxes = [Hyperrectangle([[0.0, 0.5], [0.0, 0.5]])]
+        lower, upper = stack_bounds(boxes)
+        volumes = np.array([0.25])
+        row = default_query_row(unit_square, lower, upper, volumes)
+        np.testing.assert_array_equal(row, [1.0])
+
     def test_multi_box_region_row(self, unit_square):
         subpopulations = [sub([[0, 1], [0, 1]])]
         region = Region.from_boxes(
@@ -109,6 +137,33 @@ class TestSolvers:
         problem = build_problem(subpopulations, queries, domain=domain)
         result = solve(problem, solver="analytic")
         np.testing.assert_allclose(result.weights, [0.7, 0.3], atol=1e-3)
+
+    @pytest.mark.parametrize("solver", ["analytic", "projected_gradient", "scipy"])
+    def test_warm_start_accepted_by_all_solvers(self, simple_setup, solver):
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        cold = solve(problem, solver=solver)
+        warm = solve(problem, solver=solver, warm_start=cold.weights)
+        np.testing.assert_allclose(warm.weights, cold.weights, atol=1e-3)
+        if solver != "analytic":
+            assert warm.iterations <= cold.iterations
+
+    @pytest.mark.parametrize("solver", ["analytic", "projected_gradient", "scipy"])
+    def test_mismatched_warm_start_ignored(self, simple_setup, solver):
+        """A warm start recorded before a centre rebuild changed m is dropped."""
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        stale = np.ones(problem.subpopulation_count + 3)
+        result = solve(problem, solver=solver, warm_start=stale)
+        cold = solve(problem, solver=solver)
+        np.testing.assert_allclose(result.weights, cold.weights, atol=1e-6)
+
+    def test_non_finite_warm_start_ignored(self, simple_setup):
+        domain, subpopulations, queries = simple_setup
+        problem = build_problem(subpopulations, queries, domain=domain)
+        stale = np.full(problem.subpopulation_count, np.nan)
+        result = solve(problem, solver="projected_gradient", warm_start=stale)
+        assert np.isfinite(result.weights).all()
 
     def test_unknown_solver_rejected(self, simple_setup):
         domain, subpopulations, queries = simple_setup
