@@ -37,7 +37,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.core.quicksel import QuickSel
+from repro.estimators.backend import TrainableBackend, as_backend
 from repro.exceptions import ClusterError, ServingError
 from repro.serving.policy import RefitPolicy
 from repro.serving.registry import ModelKey, normalize_key
@@ -150,10 +150,15 @@ class ShardedSelectivityService:
     def register_model(
         self,
         table: str | ModelKey,
-        trainer: QuickSel,
+        trainer: TrainableBackend,
         columns: Sequence[str] = (),
     ) -> ModelKey:
-        """Register a trainer on the shard its key routes to.
+        """Register a trainable backend on the shard its key routes to.
+
+        ``trainer`` is anything the plain service accepts — QuickSel, an
+        adapted baseline, or a bare estimator (coerced via
+        :func:`~repro.estimators.backend.as_backend` here, so the same
+        wrapper object is what migration later hands between shards).
 
         Runs under the routing lock (like shard add/remove): a
         registration racing a membership change could otherwise land on
@@ -161,21 +166,99 @@ class ShardedSelectivityService:
         being retired — leaving the model unreachable.
         """
         key = normalize_key(table, columns)
+        trainer = as_backend(trainer)
         # Absorb any training backlog *before* taking the routing lock:
-        # the trainer is not shared yet, and a QP solve under the
-        # cluster-wide lock would stall every shard's traffic.  The
-        # shard's register_model then finds nothing left to refit.
-        fitted_on = (
-            0 if trainer.last_refit is None
-            else trainer.last_refit.observed_queries
-        )
-        if trainer.observed_count > fitted_on:
+        # the trainer is not shared yet, and a QP solve (or a data
+        # rescan) under the cluster-wide lock would stall every shard's
+        # traffic.  The shard's register_model then finds nothing left
+        # to refit.
+        if trainer.observed_count > trainer.trained_count:
             trainer.refit()
         with self._lock:
             self._ensure_open()
             worker = self._workers[self._router.route(key)]
             worker.register_model(key, trainer)
         return key
+
+    def register_challenger(
+        self,
+        table: str | ModelKey,
+        trainer: TrainableBackend,
+        columns: Sequence[str] = (),
+        shadow_frac: float = 1.0,
+    ) -> ModelKey:
+        """Shadow a challenger backend behind a served key's shard.
+
+        The challenger lives on whichever shard serves the key (and
+        migrates with it on resize); feedback mirroring happens inside
+        the shard's service, so the cluster's non-blocking write path is
+        unchanged.  Registered under the routing lock for the same
+        membership-race reason as :meth:`register_model`.
+        """
+        key = normalize_key(table, columns)
+        trainer = as_backend(trainer)
+        # Validate the cheap preconditions before the backlog refit — a
+        # scan backend's refit is a full data rescan, too expensive to
+        # spend on a call the shard is about to reject anyway.  The
+        # shard's own register_challenger stays the authority (the key
+        # could migrate between this check and the registration).
+        if not (0.0 < shadow_frac <= 1.0):
+            raise ServingError("shadow_frac must be in (0, 1]")
+        with self._lock:
+            self._ensure_open()
+            worker = self._workers[self._router.route(key)]
+            if key not in worker.model_keys():
+                raise ServingError(
+                    f"cannot register a challenger for unserved key {key}; "
+                    "register the champion first"
+                )
+            if worker.has_challenger(key):
+                raise ServingError(
+                    f"key {key} already has a registered challenger"
+                )
+        if trainer.observed_count > trainer.trained_count:
+            trainer.refit()
+        with self._lock:
+            self._ensure_open()
+            worker = self._workers[self._router.route(key)]
+            worker.register_challenger(key, trainer, shadow_frac=shadow_frac)
+        return key
+
+    def promote(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> TrainableBackend:
+        """Atomically promote a key's challenger on its shard; returns the
+        retired champion backend."""
+        key = normalize_key(table, columns)
+        return self._with_worker(key, lambda worker: worker.promote(key))
+
+    def has_challenger(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bool:
+        """True if the key currently shadows a challenger somewhere."""
+        key = normalize_key(table, columns)
+        return self._with_worker(key, lambda worker: worker.has_challenger(key))
+
+    def challenger_snapshot_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> ModelSnapshot:
+        """The challenger snapshot shadowing a key, wherever it lives."""
+        key = normalize_key(table, columns)
+        return self._with_worker(
+            key, lambda worker: worker.challenger_snapshot_for(key)
+        )
+
+    def challenger_estimate(
+        self,
+        table: str | ModelKey,
+        predicate: object,
+        columns: Sequence[str] = (),
+    ) -> float:
+        """What the key's challenger would have served (off the books)."""
+        key = normalize_key(table, columns)
+        return self._with_worker(
+            key, lambda worker: worker.challenger_estimate(key, predicate)
+        )
 
     def key_for(
         self, table: str | ModelKey, columns: Sequence[str] = ()
@@ -484,10 +567,41 @@ class ShardedSelectivityService:
         source.flush(key, blocking=True)
         source.service.drain()
         drift_errors = source.service.drift_errors(key)
+        # The per-backend A/B error windows move too: unregistering
+        # wipes them on the source, and a promote decision made after a
+        # resize must still see the evidence accumulated before it.
+        backend_windows = {
+            backend: window
+            for (model, backend), window
+            in source.stats.backend_error_windows().items()
+            if model == str(key)
+        }
+        # An A/B pair moves as a pair: withdraw the challenger first
+        # (the registry refuses to split them), then re-shadow it on the
+        # destination with its mirrored state — the same exact-snapshot
+        # discipline as the champion, shadow fraction and drift evidence
+        # included.
+        challenger = None
+        challenger_errors: tuple[float, ...] = ()
+        shadow_frac = 1.0
+        if source.has_challenger(key):
+            challenger_errors = source.service.challenger_drift_errors(key)
+            shadow_frac = source.service.challenger_shadow_frac(key)
+            challenger = source.unregister_challenger(key)
         trainer = source.unregister_model(key)
         dest.register_model(
             key, trainer, refit_backlog=False, initial_errors=drift_errors
         )
+        if challenger is not None:
+            dest.register_challenger(
+                key,
+                challenger,
+                shadow_frac=shadow_frac,
+                refit_backlog=False,
+                initial_errors=challenger_errors,
+            )
+        for backend, window in backend_windows.items():
+            dest.stats.record_backend_errors(key, backend, window)
         # Final sweep: an observe that raced the hand-off may have
         # buffered on the source after its last flush; forward the
         # leftovers (and release the source's per-key buffer state).

@@ -37,7 +37,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.quicksel import QuickSel
+from repro.estimators.backend import TrainableBackend
 from repro.exceptions import ServingError
 from repro.serving.cache import EstimateCache
 from repro.serving.policy import RefitPolicy
@@ -123,12 +123,12 @@ class ShardWorker:
     def register_model(
         self,
         table: str | ModelKey,
-        trainer: QuickSel,
+        trainer: TrainableBackend,
         columns: Sequence[str] = (),
         refit_backlog: bool = True,
         initial_errors: Sequence[float] = (),
     ) -> ModelKey:
-        """Install a trainer behind a key on this shard."""
+        """Install a trainable backend behind a key on this shard."""
         return self._service.register_model(
             table,
             trainer,
@@ -137,10 +137,49 @@ class ShardWorker:
             initial_errors=initial_errors,
         )
 
-    def unregister_model(self, key: ModelKey) -> QuickSel:
-        """Hand off a key's trainer (migration); flushes its backlog first."""
+    def unregister_model(self, key: ModelKey) -> TrainableBackend:
+        """Hand off a key's backend (migration); flushes its backlog first."""
         self.flush(key, blocking=True)
         return self._service.unregister_model(key)
+
+    def register_challenger(
+        self,
+        table: str | ModelKey,
+        trainer: TrainableBackend,
+        columns: Sequence[str] = (),
+        shadow_frac: float = 1.0,
+        refit_backlog: bool = True,
+        initial_errors: Sequence[float] = (),
+    ) -> ModelKey:
+        """Shadow a challenger backend behind a key served by this shard."""
+        return self._service.register_challenger(
+            table,
+            trainer,
+            columns=columns,
+            shadow_frac=shadow_frac,
+            refit_backlog=refit_backlog,
+            initial_errors=initial_errors,
+        )
+
+    def unregister_challenger(self, key: ModelKey) -> TrainableBackend:
+        """Hand off a key's challenger backend (migration)."""
+        return self._service.unregister_challenger(key)
+
+    def has_challenger(self, key: ModelKey) -> bool:
+        """True if the key shadows a challenger on this shard."""
+        return self._service.has_challenger(key)
+
+    def challenger_snapshot_for(self, key: ModelKey) -> ModelSnapshot:
+        """The challenger snapshot currently shadowing a key."""
+        return self._service.challenger_snapshot_for(key)
+
+    def promote(self, key: ModelKey) -> TrainableBackend:
+        """Atomically promote the key's challenger; returns the retiree."""
+        return self._service.promote(key)
+
+    def challenger_estimate(self, key: ModelKey, predicate: object) -> float:
+        """What the key's challenger would have served (off the books)."""
+        return self._service.challenger_estimate(key, predicate)
 
     def model_keys(self) -> Sequence[ModelKey]:
         """The keys this shard currently serves."""

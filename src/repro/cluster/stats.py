@@ -30,8 +30,11 @@ _SUMMED_COUNTERS = (
     "cache_hits",
     "cache_misses",
     "observations",
+    "challenger_observations",
     "refits_triggered",
     "refits_completed",
+    "challenger_refits",
+    "promotions",
 )
 
 
@@ -55,6 +58,27 @@ class ClusterStats:
             view["refits_coalesced"] = worker.scheduler.coalesced
             views[shard_id] = view
         return views
+
+    def backend_errors(self) -> dict[str, dict[str, float]]:
+        """Fleet-wide per-``{model key: {backend: mean |error|}}`` view.
+
+        Error windows for the same (key, backend) are merged across
+        shards before the mean is taken — a key's windows live on its
+        owning shard (migration moves them with the key), and merging
+        (rather than averaging shard means) keeps the statistic honest
+        if any transient overlap exists mid-resize.
+        """
+        merged: dict[tuple[str, str], list[float]] = {}
+        for worker in self._workers().values():
+            for scope, window in worker.stats.backend_error_windows().items():
+                merged.setdefault(scope, []).extend(window)
+        view: dict[str, dict[str, float]] = {}
+        for (model, backend), window in merged.items():
+            if window:
+                view.setdefault(model, {})[backend] = float(
+                    sum(window) / len(window)
+                )
+        return view
 
     def aggregate(self) -> dict[str, float]:
         """One fleet-wide view: summed counters, true hit rate, merged
@@ -92,7 +116,11 @@ class ClusterStats:
 
     def snapshot(self) -> dict[str, object]:
         """Aggregate plus per-shard breakdown, as plain dicts."""
-        return {"aggregate": self.aggregate(), "per_shard": self.per_shard()}
+        return {
+            "aggregate": self.aggregate(),
+            "per_shard": self.per_shard(),
+            "backend_errors": self.backend_errors(),
+        }
 
     # ------------------------------------------------------------------
     # Convenience properties (mirror ServingStats where they make sense)

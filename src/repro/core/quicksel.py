@@ -130,6 +130,19 @@ class QuickSel:
         """The incremental trainer holding the cached training problem."""
         return self._trainer
 
+    def snapshot_model(self) -> UniformMixtureModel | None:
+        """The immutable model of the last refit (None before the first).
+
+        This is the :class:`repro.estimators.backend.TrainableBackend`
+        publish surface: the mixture model is already a frozen value
+        object, so the serving registry can hand it to readers while
+        this trainer keeps absorbing feedback.  Unlike
+        :meth:`estimate`, calling this never triggers a lazy refit —
+        deciding *when* to train is the caller's job (the serving
+        layer's refit policy, or an explicit :meth:`refit`).
+        """
+        return self._model
+
     # ------------------------------------------------------------------
     # The query-driven learning loop
     # ------------------------------------------------------------------

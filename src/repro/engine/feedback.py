@@ -33,6 +33,7 @@ from collections.abc import Sequence
 from repro.core.predicate import Predicate
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Executor
+from repro.estimators.backend import TrainableBackend
 from repro.estimators.base import QueryDrivenEstimator
 from repro.core.quicksel import QuickSel
 from repro.exceptions import ServingError
@@ -40,7 +41,7 @@ from repro.serving.adapter import SelectivityServing, ServingEstimator
 
 __all__ = ["FeedbackLoop"]
 
-LearningEstimator = QueryDrivenEstimator | QuickSel
+LearningEstimator = QueryDrivenEstimator | QuickSel | TrainableBackend
 
 
 class FeedbackLoop:
@@ -65,7 +66,7 @@ class FeedbackLoop:
         self,
         table_name: str,
         service: SelectivityServing,
-        trainer: QuickSel | None = None,
+        trainer: TrainableBackend | None = None,
         columns: Sequence[str] = (),
     ) -> ServingEstimator:
         """Route this table's feedback through a selectivity backend.
@@ -75,9 +76,12 @@ class FeedbackLoop:
         :class:`~repro.cluster.service.ShardedSelectivityService` — the
         loop only relies on the shared
         :class:`~repro.serving.adapter.SelectivityServing` surface.  If
-        ``trainer`` is given, it is first registered with the backend
-        under ``(table_name, columns)``; otherwise the key must already
-        exist there.  Returns the
+        ``trainer`` is given — any
+        :class:`~repro.estimators.backend.TrainableBackend`: QuickSel, an
+        adapted baseline estimator, or a bare query-driven/scan-based
+        estimator the service will wrap — it is first registered with the
+        backend under ``(table_name, columns)``; otherwise the key must
+        already exist there.  Returns the
         :class:`~repro.serving.adapter.ServingEstimator` adapter for the
         key so callers can hand the served model to the optimizer.
         """

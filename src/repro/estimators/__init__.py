@@ -14,6 +14,13 @@ Scan-based: :class:`~repro.estimators.auto_hist.AutoHist`,
 
 from repro.estimators.auto_hist import AutoHist
 from repro.estimators.auto_sample import AutoSample
+from repro.estimators.backend import (
+    QueryDrivenBackend,
+    ScanBackend,
+    ServableModel,
+    TrainableBackend,
+    as_backend,
+)
 from repro.estimators.base import (
     QueryDrivenEstimator,
     ScanBasedEstimator,
@@ -37,6 +44,11 @@ __all__ = [
     "SelectivityEstimator",
     "QueryDrivenEstimator",
     "ScanBasedEstimator",
+    "TrainableBackend",
+    "ServableModel",
+    "QueryDrivenBackend",
+    "ScanBackend",
+    "as_backend",
     "as_region",
     "Bucket",
     "BucketSet",

@@ -17,6 +17,7 @@ of Figure 4 and the space-budget comparison of Figure 5.
 from __future__ import annotations
 
 import abc
+import copy
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -70,6 +71,19 @@ class SelectivityEstimator(abc.ABC):
         (:meth:`repro.core.quicksel.QuickSel.estimate_many`) override it.
         """
         return np.array([self.estimate(predicate) for predicate in predicates])
+
+    def frozen_copy(self) -> "SelectivityEstimator":
+        """An immutable deep copy adequate for estimation.
+
+        This is what the serving layer publishes as a snapshot: it must
+        answer ``estimate``/``estimate_many`` identically to the live
+        estimator's current state, and is never trained or refreshed.
+        Subclasses whose *estimates* do not depend on some bulky
+        training-only state (replay history, data sources) override
+        this to exclude it, so snapshot cost tracks model size rather
+        than lifetime feedback.
+        """
+        return copy.deepcopy(self)
 
     def _region(self, predicate: PredicateLike) -> Region:
         return as_region(predicate, self._domain)
@@ -161,6 +175,29 @@ class ScanBasedEstimator(SelectivityEstimator):
             return True
         return False
 
+    def frozen_copy(self) -> "ScanBasedEstimator":
+        """Deep copy with the data source detached.
+
+        A bound-method (or closure) data source would drag a duplicate
+        of the entire dataset into the copy; frozen statistics never
+        rescan, so the copy gets a stub source that raises instead.
+        """
+        source = self._data_source
+        self._data_source = _frozen_data_source
+        try:
+            frozen = copy.deepcopy(self)
+        finally:
+            self._data_source = source
+        return frozen
+
     @abc.abstractmethod
     def _build(self, data: np.ndarray) -> None:
         """Rebuild internal statistics from a full copy of the data."""
+
+
+def _frozen_data_source() -> np.ndarray:
+    """Placeholder data source installed on frozen scan-estimator copies."""
+    raise EstimatorError(
+        "a frozen scan-estimator snapshot has no data source; "
+        "refresh the live backend, not the published copy"
+    )

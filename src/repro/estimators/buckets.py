@@ -20,11 +20,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.geometry import Hyperrectangle, cross_intersection_volumes
+from repro.core.geometry import (
+    Hyperrectangle,
+    cross_intersection_volumes,
+    intersection_volumes_from_bounds,
+    stack_bounds,
+)
+from repro.core.predicate import lower_batch
 from repro.core.region import Region
 from repro.exceptions import EstimatorError
 
-__all__ = ["Bucket", "BucketSet", "drill"]
+__all__ = ["Bucket", "BucketSet", "BucketBatchEstimation", "drill"]
 
 
 @dataclass
@@ -46,6 +52,19 @@ class BucketSet:
 
     domain: Hyperrectangle
     buckets: list[Bucket] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Stacked-geometry cache for the batched estimation path, keyed
+        # on (list identity, length): every geometry edit in this
+        # codebase either rebinds ``buckets`` to a new list (drill) or
+        # changes its length (merge), so the key detects them all.
+        # In-place *frequency* edits are geometry-neutral (frequencies
+        # are re-read per call).  Code that replaces a bucket in place
+        # without changing the list object or its length must rebind
+        # ``buckets`` instead.
+        self._geometry: (
+            tuple[list[Bucket], int, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
 
     @classmethod
     def initial(cls, domain: Hyperrectangle) -> "BucketSet":
@@ -116,6 +135,62 @@ class BucketSet:
         )
         return float(np.dot(self.frequencies, fractions))
 
+    def estimate_from_bounds(
+        self,
+        piece_lower: Sequence[np.ndarray],
+        piece_upper: Sequence[np.ndarray],
+        owners: Sequence[int],
+        count: int,
+    ) -> np.ndarray:
+        """Batched estimation from raw predicate-piece bounds.
+
+        Same contract as :meth:`repro.core.mixture.UniformMixtureModel.
+        estimate_from_bounds`: one ``(d,)`` corner pair per disjoint
+        predicate piece, ``owners[i]`` naming the owning predicate, and
+        one intersection-kernel call for the whole batch — the serving
+        layer's vectorised fast path, now shared by every bucket-based
+        histogram (ST-Holes, ISOMER).  Elementwise equal to
+        :meth:`estimate_region` per predicate, clipped to ``[0, 1]``.
+        """
+        if not len(owners) or not self.buckets:
+            return np.zeros(count)
+        bucket_lower, bucket_upper, volumes = self._stacked_geometry()
+        overlaps = intersection_volumes_from_bounds(
+            np.stack(piece_lower), np.stack(piece_upper),
+            bucket_lower, bucket_upper,
+        )
+        fractions = np.divide(
+            overlaps, volumes, out=np.zeros_like(overlaps),
+            where=volumes > 0,
+        )
+        per_piece = fractions @ self.frequencies
+        estimates = np.bincount(
+            np.asarray(owners, dtype=np.intp), weights=per_piece,
+            minlength=count,
+        )
+        return np.clip(estimates, 0.0, 1.0)
+
+    def _stacked_geometry(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(lower, upper, volumes)`` stacks of the bucket boxes.
+
+        Rebuilt when the bucket list was rebound or resized (see
+        ``__post_init__``); a frozen snapshot deepcopy carries the cache
+        over, so repeated serves of an immutable histogram pay the
+        Python-level stacking once, not per call.
+        """
+        buckets = self.buckets
+        cached = self._geometry
+        if (
+            cached is not None
+            and cached[0] is buckets
+            and cached[1] == len(buckets)
+        ):
+            return cached[2], cached[3], cached[4]
+        lower, upper = stack_bounds([bucket.box for bucket in buckets])
+        volumes = np.array([bucket.volume for bucket in buckets])
+        self._geometry = (buckets, len(buckets), lower, upper, volumes)
+        return lower, upper, volumes
+
     def membership_matrix(self, regions: Sequence[Region]) -> np.ndarray:
         """0/1 matrix saying which buckets lie inside which predicate regions.
 
@@ -135,6 +210,39 @@ class BucketSet:
             )
             matrix[row] = (fractions > 0.5).astype(float)
         return matrix
+
+
+class BucketBatchEstimation:
+    """Vectorised batch surface for estimators backed by a :class:`BucketSet`.
+
+    Mixed into the bucket histograms (ST-Holes, ISOMER): provides
+    ``estimate_many`` (lower the batch once, one shared kernel call —
+    elementwise equal to the estimator's scalar ``estimate``) and the
+    raw-bounds ``estimate_from_bounds`` surface the serving snapshot's
+    fast path dispatches on.  Hosts expose ``_domain`` and ``_buckets``.
+    """
+
+    _domain: Hyperrectangle
+    _buckets: BucketSet
+
+    def estimate_many(self, predicates: Sequence[object]) -> np.ndarray:
+        """Batch estimation through one :meth:`BucketSet.estimate_from_bounds`."""
+        piece_lower, piece_upper, owners = lower_batch(predicates, self._domain)
+        return self.estimate_from_bounds(
+            piece_lower, piece_upper, owners, len(predicates)
+        )
+
+    def estimate_from_bounds(
+        self,
+        piece_lower: Sequence[np.ndarray],
+        piece_upper: Sequence[np.ndarray],
+        owners: Sequence[int],
+        count: int,
+    ) -> np.ndarray:
+        """Raw-bounds batch surface (the serving snapshot's fast path)."""
+        return self._buckets.estimate_from_bounds(
+            piece_lower, piece_upper, owners, count
+        )
 
 
 def drill(

@@ -21,14 +21,14 @@ from __future__ import annotations
 from repro.core.geometry import Hyperrectangle
 from repro.core.region import Region
 from repro.estimators.base import PredicateLike, QueryDrivenEstimator
-from repro.estimators.buckets import BucketSet, drill
+from repro.estimators.buckets import BucketBatchEstimation, BucketSet, drill
 from repro.exceptions import EstimatorError
 from repro.solvers.iterative_scaling import solve_iterative_scaling
 
 __all__ = ["Isomer"]
 
 
-class Isomer(QueryDrivenEstimator):
+class Isomer(BucketBatchEstimation, QueryDrivenEstimator):
     """Max-entropy query-driven histogram trained with iterative scaling."""
 
     name = "ISOMER"
@@ -77,6 +77,20 @@ class Isomer(QueryDrivenEstimator):
         region = self._region(predicate)
         raw = self._buckets.estimate_region(region)
         return float(min(max(raw, 0.0), 1.0))
+
+    def frozen_copy(self) -> "Isomer":
+        """Deep copy without the observed-query replay history.
+
+        Estimates read only the bucket frequencies; ``_queries`` exists
+        to re-run iterative scaling on the *live* estimator.  Excluding
+        it keeps a published snapshot sized to the histogram instead of
+        the lifetime feedback stream.
+        """
+        queries, self._queries = self._queries, []
+        try:
+            return super().frozen_copy()
+        finally:
+            self._queries = queries
 
     def observe(self, predicate: PredicateLike, selectivity: float) -> None:
         if not (0.0 <= selectivity <= 1.0):

@@ -22,13 +22,13 @@ import numpy as np
 
 from repro.core.geometry import Hyperrectangle
 from repro.estimators.base import PredicateLike, QueryDrivenEstimator
-from repro.estimators.buckets import BucketSet, drill
+from repro.estimators.buckets import BucketBatchEstimation, BucketSet, drill
 from repro.exceptions import EstimatorError
 
 __all__ = ["STHoles"]
 
 
-class STHoles(QueryDrivenEstimator):
+class STHoles(BucketBatchEstimation, QueryDrivenEstimator):
     """Error-feedback query-driven histogram with bucket merging."""
 
     name = "STHoles"

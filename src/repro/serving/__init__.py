@@ -19,6 +19,14 @@ loop into a small production-shaped subsystem:
   :class:`~repro.estimators.base.SelectivityEstimator`-protocol view so
   the engine's optimizer and feedback loop use the service unchanged.
 
+The stack is generic over the
+:class:`~repro.estimators.backend.TrainableBackend` protocol: any
+estimator with ``observe_many``/``refit``/``snapshot_model`` — QuickSel
+natively, the adapted query-driven and scan-based baselines — serves
+behind the same snapshot/version discipline, and champion/challenger
+A/B serving (``register_challenger`` / ``promote``) compares backends
+under live traffic with per-backend error stats.
+
 Batch-API contract: ``estimate_batch`` answers every predicate from one
 snapshot version and matches per-predicate ``estimate`` to < 1e-9.
 """

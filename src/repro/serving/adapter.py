@@ -25,7 +25,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.quicksel import QuickSel
+from repro.estimators.backend import TrainableBackend
 from repro.estimators.base import PredicateLike, QueryDrivenEstimator
 from repro.serving.registry import ModelKey
 from repro.serving.snapshot import ModelSnapshot
@@ -42,7 +42,7 @@ class SelectivityServing(Protocol):
     ) -> ModelKey: ...
 
     def register_model(
-        self, table: "str | ModelKey", trainer: QuickSel,
+        self, table: "str | ModelKey", trainer: TrainableBackend,
         columns: Sequence[str] = (),
     ) -> ModelKey: ...
 
@@ -99,8 +99,7 @@ class ServingEstimator(QueryDrivenEstimator):
     @property
     def parameter_count(self) -> int:
         """Parameters of the currently served snapshot (0 at bootstrap)."""
-        model = self._service.snapshot_for(self._key).model
-        return 0 if model is None else model.parameter_count
+        return self._service.snapshot_for(self._key).parameter_count
 
     @property
     def version(self) -> int:

@@ -17,11 +17,18 @@ predicate) -> estimate``.  Two design points:
   model key may hold more than that many entries: a plan-enumeration
   burst against one hot table evicts its *own* oldest entries instead of
   flushing every other table's working set out of the shared LRU.
+* **Optional TTLs.**  With ``ttl_seconds`` set, entries expire that many
+  seconds after insertion.  Expiry is checked lazily on read — an
+  expired entry is evicted and reported as a miss — so there is no
+  background sweeper thread; version-scoped keys already guarantee
+  correctness, a TTL just bounds how long a dead version's entries (or
+  entries for churning ad-hoc predicates) can squat in the LRU.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Hashable
 
@@ -99,19 +106,35 @@ class EstimateCache:
     every other key's entries out of the global LRU.  Entries whose keys
     are not ``(model_key, ...)`` tuples are exempt from the budget (they
     only compete in the global LRU).
+
+    ``ttl_seconds`` (optional) expires entries that many seconds after
+    insertion; expiry is checked on read (no background thread), so an
+    expired entry lingers in memory only until it is next looked up,
+    evicted by the LRU, or invalidated.
     """
 
     def __init__(
-        self, capacity: int = 4096, per_key_capacity: int | None = None
+        self,
+        capacity: int = 4096,
+        per_key_capacity: int | None = None,
+        ttl_seconds: float | None = None,
     ) -> None:
         if capacity < 1:
             raise ServingError("cache capacity must be at least 1")
         if per_key_capacity is not None and per_key_capacity < 1:
             raise ServingError("per_key_capacity must be at least 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ServingError("ttl_seconds must be positive when set")
         self._capacity = capacity
         self._per_key_capacity = per_key_capacity
+        self._ttl_seconds = ttl_seconds
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, float]" = OrderedDict()
+        # Values are floats, or (value, expiry-deadline) pairs when a TTL
+        # is configured; the unbudgeted, un-TTL'd cache keeps the PR 1
+        # memory footprint.
+        self._entries: "OrderedDict[Hashable, float | tuple[float, float]]" = (
+            OrderedDict()
+        )
         # model key -> its cache keys in LRU order (an OrderedDict used
         # as an ordered set).  Maintained only when a per-key budget is
         # configured; the unbudgeted cache keeps the PR 1 behaviour and
@@ -128,6 +151,11 @@ class EstimateCache:
         """Maximum entries any single model key may hold (None: unbounded)."""
         return self._per_key_capacity
 
+    @property
+    def ttl_seconds(self) -> float | None:
+        """Seconds an entry stays valid after insertion (None: forever)."""
+        return self._ttl_seconds
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -141,15 +169,28 @@ class EstimateCache:
             return sum(1 for key in self._entries if _model_key_of(key) == model_key)
 
     def get(self, key: Hashable) -> float | None:
-        """Return the cached estimate, refreshing its recency; None on miss."""
+        """Return the cached estimate, refreshing its recency; None on miss.
+
+        With a TTL configured, an entry past its deadline is evicted
+        here and reported as a miss — reads are the expiry checkpoint.
+        """
         with self._lock:
-            value = self._entries.get(key)
-            if value is not None:
-                self._entries.move_to_end(key)
-                if self._per_key_capacity is not None:
-                    bucket = self._buckets.get(_model_key_of(key))
-                    if bucket is not None and key in bucket:
-                        bucket.move_to_end(key)
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if self._ttl_seconds is not None:
+                value, deadline = entry
+                if time.monotonic() >= deadline:
+                    del self._entries[key]
+                    self._discard_from_bucket(key)
+                    return None
+            else:
+                value = entry
+            self._entries.move_to_end(key)
+            if self._per_key_capacity is not None:
+                bucket = self._buckets.get(_model_key_of(key))
+                if bucket is not None and key in bucket:
+                    bucket.move_to_end(key)
             return value
 
     def put(self, key: Hashable, value: float) -> None:
@@ -160,7 +201,12 @@ class EstimateCache:
         over its total capacity.
         """
         with self._lock:
-            self._entries[key] = value
+            if self._ttl_seconds is not None:
+                self._entries[key] = (
+                    value, time.monotonic() + self._ttl_seconds
+                )
+            else:
+                self._entries[key] = value
             self._entries.move_to_end(key)
             if self._per_key_capacity is not None:
                 model_key = _model_key_of(key)

@@ -9,7 +9,8 @@ talks to.  It composes the rest of the subsystem:
   :class:`~repro.serving.registry.EstimatorRegistry`, consult the
   version-scoped :class:`~repro.serving.cache.EstimateCache`, and evaluate
   misses against the immutable snapshot (batch misses through one
-  vectorised kernel call).  Reads never block on training.
+  vectorised kernel call when the model supports raw-bounds batching, a
+  loop fallback otherwise).  Reads never block on training.
 * writes — :meth:`SelectivityService.observe` appends feedback to the
   model's mutable trainer, tracks the served-vs-true error, and asks the
   :class:`~repro.serving.policy.RefitPolicy` whether a refit is due; due
@@ -23,6 +24,20 @@ talks to.  It composes the rest of the subsystem:
 * metrics — every call is recorded on a
   :class:`~repro.serving.stats.ServingStats`.
 
+The service is generic over the
+:class:`~repro.estimators.backend.TrainableBackend` protocol:
+``register_model`` accepts QuickSel, any adapted baseline estimator
+(ST-Holes, ISOMER, AutoHist, …), or a bare query-driven/scan-based
+estimator (coerced via :func:`~repro.estimators.backend.as_backend`) —
+all behind the same snapshot/version discipline.
+
+A/B serving: :meth:`SelectivityService.register_challenger` installs a
+second backend behind an already-served key.  Reads keep coming from the
+champion; a configurable fraction of the key's feedback is mirrored to
+the challenger (its own snapshot chain, refit triggers, and per-backend
+error window), and :meth:`SelectivityService.promote` atomically swaps
+the challenger's model in as the next champion version.
+
 The batch-API contract: ``estimate_batch(table, predicates)`` returns an
 ``np.ndarray`` elementwise equal (to < 1e-9) to calling ``estimate`` per
 predicate against the *same* snapshot version, in input order.
@@ -30,6 +45,7 @@ predicate against the *same* snapshot version, in input order.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -39,8 +55,8 @@ import numpy as np
 
 from repro.core.geometry import Hyperrectangle
 from repro.core.predicate import Predicate
-from repro.core.quicksel import QuickSel
 from repro.core.region import Region
+from repro.estimators.backend import TrainableBackend, as_backend
 from repro.exceptions import ServingError
 from repro.serving.cache import EstimateCache, predicate_cache_key
 from repro.serving.policy import RefitDecision, RefitPolicy
@@ -54,17 +70,61 @@ __all__ = ["SelectivityService"]
 PredicateLike = Predicate | Hyperrectangle | Region
 
 
+def _backend_name(trainer: object) -> str:
+    return getattr(trainer, "name", None) or type(trainer).__name__
+
+
+def _challenger_stats_name(trainer: object) -> str:
+    """The stats label a challenger's errors are recorded under.
+
+    Role-suffixed so an A/B of two same-named backends (QuickSel config
+    A vs QuickSel config B) still yields two distinct error windows —
+    without the suffix the comparison the promote decision rests on
+    would collapse into one merged window.
+    """
+    return f"{_backend_name(trainer)}@challenger"
+
+
 class _ServedModel:
     """Mutable per-key state: the trainer and its feedback bookkeeping."""
 
-    __slots__ = ("key", "trainer", "lock", "pending", "errors")
+    __slots__ = ("key", "trainer", "lock", "pending", "errors", "retired")
 
-    def __init__(self, key: ModelKey, trainer: QuickSel, error_window: int) -> None:
+    def __init__(
+        self, key: ModelKey, trainer: TrainableBackend, error_window: int
+    ) -> None:
         self.key = key
         self.trainer = trainer
         self.lock = threading.RLock()
         self.pending = 0
         self.errors: deque[float] = deque(maxlen=error_window)
+        # Flipped (under ``lock``) when the slot's trainer is swapped out
+        # by promote(); a writer that fetched the slot before the swap
+        # re-resolves instead of feeding a retired trainer.
+        self.retired = False
+
+
+class _ChallengerModel(_ServedModel):
+    """A shadowing backend: served-model state plus the mirror pipeline."""
+
+    __slots__ = ("shadow_frac", "mirror_lock", "backlog", "mirror_seen")
+
+    def __init__(
+        self,
+        key: ModelKey,
+        trainer: TrainableBackend,
+        error_window: int,
+        shadow_frac: float,
+    ) -> None:
+        super().__init__(key, trainer, error_window)
+        self.shadow_frac = shadow_frac
+        # The mirror pipeline: sampled feedback lands in ``backlog``
+        # under ``mirror_lock`` (never the trainer lock, so mirroring
+        # cannot stall the write path behind a challenger refit) and is
+        # drained into the trainer at the next unlocked opportunity.
+        self.mirror_lock = threading.Lock()
+        self.backlog: list[tuple[PredicateLike, float]] = []
+        self.mirror_seen = 0
 
 
 class SelectivityService:
@@ -88,6 +148,7 @@ class SelectivityService:
         self._scheduler = scheduler if scheduler is not None else RefitScheduler()
         self._stats = stats if stats is not None else ServingStats()
         self._served: dict[ModelKey, _ServedModel] = {}
+        self._challengers: dict[ModelKey, _ChallengerModel] = {}
         self._lock = threading.RLock()
         self._closed = False
         self._registry.add_listener(self._on_publish)
@@ -126,20 +187,25 @@ class SelectivityService:
     def register_model(
         self,
         table: str | ModelKey,
-        trainer: QuickSel,
+        trainer: TrainableBackend,
         columns: Sequence[str] = (),
         refit_backlog: bool = True,
         initial_errors: Sequence[float] = (),
     ) -> ModelKey:
-        """Put a QuickSel trainer behind a ``(table, columns)`` model key.
+        """Put a trainable backend behind a ``(table, columns)`` model key.
 
-        The registry immediately serves either the trainer's existing
-        model (published as version 1) or the uniform bootstrap snapshot
-        (version 0) if the trainer has not been fitted yet.  The trainer
-        object becomes service-owned: feed it feedback only through
-        :meth:`observe` from now on.
+        ``trainer`` may be anything satisfying the
+        :class:`~repro.estimators.backend.TrainableBackend` protocol
+        (QuickSel natively) or a bare query-driven/scan-based estimator,
+        which is wrapped via
+        :func:`~repro.estimators.backend.as_backend`.  The registry
+        immediately serves either the backend's existing model
+        (published as version 1) or the uniform bootstrap snapshot
+        (version 0) if it has not been trained yet.  The backend becomes
+        service-owned: feed it feedback only through :meth:`observe`
+        from now on.
 
-        ``refit_backlog=False`` registers the trainer *as is*: its
+        ``refit_backlog=False`` registers the backend *as is*: its
         current model is served unchanged and any unabsorbed feedback is
         carried as pending toward the refit policy instead of being
         trained in here.  Shard migration uses this so a hand-off
@@ -151,6 +217,7 @@ class SelectivityService:
         query away after it moves (see :meth:`drift_errors`).
         """
         key = self._key(table, columns)
+        trainer = as_backend(trainer)
         # Reject duplicates before touching the trainer: re-registering a
         # served key must not refit anything (the key's existing trainer
         # may be mid-refit under its own lock).  The insert below
@@ -158,26 +225,20 @@ class SelectivityService:
         with self._lock:
             if key in self._served:
                 raise ServingError(f"model key {key} is already registered")
-        # A trainer carrying feedback its model has not absorbed (no model
+        # A backend carrying feedback its model has not absorbed (no model
         # yet, or observations recorded after the last refit) is refitted
         # first — otherwise that backlog would serve stale/uniform
         # estimates until fresh traffic filled the refit policy's
         # triggers.  Refitting before touching any shared state means a
         # failed refit leaves nothing registered, so the call can simply
         # be retried.
-        fitted_on = (
-            0 if trainer.last_refit is None
-            else trainer.last_refit.observed_queries
-        )
-        if refit_backlog and trainer.observed_count > fitted_on:
+        if refit_backlog and trainer.observed_count > trainer.trained_count:
             trainer.refit()
-            fitted_on = trainer.last_refit.observed_queries
+        fitted_on = trainer.trained_count
         with self._lock:
             if key in self._served:
                 raise ServingError(f"model key {key} is already registered")
-            error_window = max(
-                self._policy.drift_window, self._policy.min_drift_observations
-            )
+            error_window = self._error_window()
             self._registry.register(key, trainer.domain)
             served = _ServedModel(key, trainer, error_window)
             served.pending = trainer.observed_count - fitted_on
@@ -186,27 +247,34 @@ class SelectivityService:
         # Same discipline as _refit: publish only under the served model's
         # lock so an initial publish cannot interleave with a refit's.
         with served.lock:
-            if trainer.model is not None:
-                self._registry.publish(
-                    key, trainer.model, trainer.last_refit.observed_queries
-                )
+            model = trainer.snapshot_model()
+            if model is not None:
+                self._registry.publish(key, model, fitted_on)
         return key
 
     def unregister_model(
         self, table: str | ModelKey, columns: Sequence[str] = ()
-    ) -> QuickSel:
-        """Withdraw a key and hand back its trainer (shard migration).
+    ) -> TrainableBackend:
+        """Withdraw a key and hand back its backend (shard migration).
 
         Waits for an in-flight refit of the key to publish (by taking the
         trainer lock) before removing the registry snapshot, so the
         hand-off never races a publish.  A refit still *queued* on the
         scheduler when the key leaves fails harmlessly there; callers
-        that care should :meth:`drain` first.  The returned trainer
-        carries all absorbed feedback and can be re-registered elsewhere
-        without retraining from scratch.
+        that care should :meth:`drain` first.  A key still carrying a
+        challenger is refused — withdraw or promote it first (see
+        :meth:`unregister_challenger`) so an A/B pair never splits
+        silently.  The returned backend carries all absorbed feedback
+        and can be re-registered elsewhere without retraining from
+        scratch.
         """
         key = self._key(table, columns)
         with self._lock:
+            if key in self._challengers:
+                raise ServingError(
+                    f"key {key} still has a registered challenger; "
+                    "unregister or promote it before the champion"
+                )
             try:
                 served = self._served.pop(key)
             except KeyError as error:
@@ -216,6 +284,7 @@ class SelectivityService:
         with served.lock:
             self._registry.remove(key)
         self._cache.invalidate(key)
+        self._stats.forget_backend_errors(key)
         return served.trainer
 
     def key_for(
@@ -238,7 +307,7 @@ class SelectivityService:
     def feedback_count(
         self, table: str | ModelKey, columns: Sequence[str] = ()
     ) -> int:
-        """Total observations absorbed by a key's trainer (incl. unpublished)."""
+        """Total observations absorbed by a key's backend (incl. unpublished)."""
         served = self._served_model(self._key(table, columns))
         with served.lock:
             return served.trainer.observed_count
@@ -255,6 +324,227 @@ class SelectivityService:
         served = self._served_model(self._key(table, columns))
         with served.lock:
             return tuple(served.errors)
+
+    # ------------------------------------------------------------------
+    # Champion/challenger lifecycle (A/B serving)
+    # ------------------------------------------------------------------
+    def register_challenger(
+        self,
+        table: str | ModelKey,
+        trainer: TrainableBackend,
+        columns: Sequence[str] = (),
+        shadow_frac: float = 1.0,
+        refit_backlog: bool = True,
+        initial_errors: Sequence[float] = (),
+    ) -> ModelKey:
+        """Shadow a second backend behind an already-served key.
+
+        The challenger gets its own versioned snapshot chain in the
+        registry (reads keep coming from the champion), receives
+        ``shadow_frac`` of the key's feedback (deterministic stride
+        sampling, so two identically fed services mirror identically),
+        accumulates its own drift/error window and refit triggers, and
+        shows up in :meth:`ServingStats.backend_errors` under its own
+        backend name next to the champion — the A/B evidence
+        :meth:`promote` acts on.  Like :meth:`register_model`,
+        ``trainer`` may be a bare estimator (wrapped via
+        :func:`~repro.estimators.backend.as_backend`) and an unabsorbed
+        feedback backlog is refitted up front unless
+        ``refit_backlog=False`` (migration hand-off).
+        """
+        key = self._key(table, columns)
+        trainer = as_backend(trainer)
+        if not (0.0 < shadow_frac <= 1.0):
+            raise ServingError("shadow_frac must be in (0, 1]")
+        with self._lock:
+            if key not in self._served:
+                raise ServingError(
+                    f"cannot register a challenger for unserved key {key}; "
+                    "register the champion first"
+                )
+            if key in self._challengers:
+                raise ServingError(
+                    f"key {key} already has a registered challenger"
+                )
+        if refit_backlog and trainer.observed_count > trainer.trained_count:
+            trainer.refit()
+        fitted_on = trainer.trained_count
+        with self._lock:
+            if key not in self._served:
+                raise ServingError(
+                    f"cannot register a challenger for unserved key {key}"
+                )
+            if key in self._challengers:
+                raise ServingError(
+                    f"key {key} already has a registered challenger"
+                )
+            error_window = self._error_window()
+            self._registry.register_challenger(key, trainer.domain)
+            challenger = _ChallengerModel(
+                key, trainer, error_window, shadow_frac
+            )
+            challenger.pending = trainer.observed_count - fitted_on
+            challenger.errors.extend(initial_errors)
+            self._challengers[key] = challenger
+        with challenger.lock:
+            model = trainer.snapshot_model()
+            if model is not None:
+                self._registry.publish_challenger(key, model, fitted_on)
+        return key
+
+    def unregister_challenger(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> TrainableBackend:
+        """Withdraw a key's challenger and hand back its backend.
+
+        Drains the mirror backlog into the challenger's trainer first,
+        then waits out an in-flight challenger refit (trainer lock), so
+        the returned backend carries every mirrored observation and can
+        resume shadowing on another shard.
+        """
+        key = self._key(table, columns)
+        challenger = self._challenger_model(key)
+        self._drain_challenger(key, challenger, blocking=True)
+        with self._lock:
+            if self._challengers.get(key) is not challenger:
+                raise ServingError(
+                    f"challenger for key {key} changed during unregister; retry"
+                )
+            del self._challengers[key]
+        with challenger.lock:
+            final_snapshot = self._registry.remove_challenger(key)
+            # A mirror racing the removal may have appended after the
+            # drain above; fold the leftovers into the departing trainer
+            # (and retire the slot under the mirror lock so no later
+            # racer can append into a backlog nobody will read), priced
+            # against the chain's final snapshot like any other mirror.
+            with challenger.mirror_lock:
+                leftovers = list(challenger.backlog)
+                challenger.backlog.clear()
+                challenger.retired = True
+            self._absorb_mirrored_locked(
+                key, challenger, leftovers, snapshot=final_snapshot
+            )
+        self._cache.invalidate(("challenger", key))
+        # A later challenger for this key must start with a clean A/B
+        # error window, not this one's history.
+        self._stats.forget_backend_errors(
+            key, _challenger_stats_name(challenger.trainer)
+        )
+        return challenger.trainer
+
+    def has_challenger(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bool:
+        """True if the key currently shadows a challenger backend."""
+        with self._lock:
+            return self._key(table, columns) in self._challengers
+
+    def challenger_keys(self) -> Sequence[ModelKey]:
+        """All keys currently shadowing a challenger."""
+        with self._lock:
+            return tuple(self._challengers)
+
+    def challenger_snapshot_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> ModelSnapshot:
+        """The challenger's current snapshot (raises if none registered)."""
+        return self._registry.current_challenger(self._key(table, columns))
+
+    def challenger_shadow_frac(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> float:
+        """The fraction of the key's feedback mirrored to its challenger."""
+        return self._challenger_model(self._key(table, columns)).shadow_frac
+
+    def challenger_drift_errors(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> tuple[float, ...]:
+        """The challenger's recent served-vs-true error window, oldest first."""
+        challenger = self._challenger_model(self._key(table, columns))
+        with challenger.lock:
+            return tuple(challenger.errors)
+
+    def challenger_estimate(
+        self,
+        table: str | ModelKey,
+        predicate: PredicateLike,
+        columns: Sequence[str] = (),
+    ) -> float:
+        """What the challenger would have served, off the metrics books.
+
+        Cached under a challenger-scoped cache key (so champion and
+        challenger versions can never collide), not recorded as a read
+        request — comparison tooling and tests use this to hold both
+        backends' answers side by side.
+        """
+        key = self._key(table, columns)
+        snapshot = self._registry.current_challenger(key)
+        value, _ = self._estimate_cached(
+            ("challenger", key), snapshot, predicate
+        )
+        return value
+
+    def promote(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> TrainableBackend:
+        """Atomically make the challenger the champion; returns the retiree.
+
+        Under the champion's and challenger's trainer locks in one
+        critical section: the challenger's current model is republished
+        as the next champion version (registry-atomic — concurrent
+        readers see the old champion or the promoted one, never a mix),
+        the challenger's backend takes over the key's write path
+        (pending feedback, drift window, and any not-yet-drained mirror
+        backlog move with it), and the retired champion backend is
+        returned to the caller.  An untrained challenger is refused.
+        """
+        key = self._key(table, columns)
+        served = self._served_model(key)
+        challenger = self._challenger_model(key)
+        with served.lock, challenger.lock:
+            with self._lock:
+                if (
+                    self._served.get(key) is not served
+                    or self._challengers.get(key) is not challenger
+                ):
+                    raise ServingError(
+                        f"key {key} changed during promote; retry"
+                    )
+            # Absorb the mirror backlog so the promoted trainer carries
+            # every mirrored observation (they stay pending toward its
+            # next refit; the *published* model is the challenger's
+            # current snapshot, promotion never retrains).  ``retired``
+            # flips inside the same mirror_lock section: a mirror that
+            # misses this drain is guaranteed to observe the flag and
+            # skip, so nothing can land in a backlog no one will read.
+            with challenger.mirror_lock:
+                backlog = list(challenger.backlog)
+                challenger.backlog.clear()
+                challenger.retired = True
+            self._absorb_mirrored_locked(key, challenger, backlog)
+            snapshot = self._registry.promote(key)
+            promoted = _ServedModel(
+                key, challenger.trainer, self._error_window()
+            )
+            promoted.pending = challenger.pending
+            promoted.errors.extend(challenger.errors)
+            with self._lock:
+                self._served[key] = promoted
+                del self._challengers[key]
+            served.retired = True
+        self._cache.invalidate(("challenger", key))
+        # Role windows end with the roles: the retiree's champion window
+        # and the promoted backend's challenger-era window must not
+        # contaminate future occupants of either slot — the promoted
+        # backend starts a fresh champion window under its plain name.
+        self._stats.forget_backend_errors(key, _backend_name(served.trainer))
+        self._stats.forget_backend_errors(
+            key, _challenger_stats_name(challenger.trainer)
+        )
+        self._stats.record_promotion()
+        assert snapshot.model is not None
+        return served.trainer
 
     # ------------------------------------------------------------------
     # Reads
@@ -370,14 +660,16 @@ class SelectivityService:
         (which may itself be coalesced into an already-queued one).
         """
         key = self._key(table, columns)
-        served = self._served_model(key)
         snapshot = self._registry.current(key)
         served_estimate, _ = self._estimate_cached(key, snapshot, predicate)
-        with served.lock:
-            decision = self._absorb(
-                served, ((predicate, selectivity, served_estimate),)
-            )
+        feedback = ((predicate, selectivity, served_estimate),)
+        decision = self._absorb_into_champion(key, feedback, blocking=True)
         self._stats.record_observation()
+        # blocking=False is load-bearing: a challenger mid-refit (a scan
+        # backend rescanning its data source can hold its trainer lock
+        # for seconds) must never stall the key's write path — the
+        # mirrored share waits in the backlog as documented.
+        self._mirror_to_challenger(key, feedback, blocking=False)
         return self._maybe_refit(key, decision)
 
     def apply_feedback(
@@ -399,22 +691,23 @@ class SelectivityService:
         lock is free.
 
         With ``blocking=False`` the call returns ``None`` immediately —
-        applying nothing — if the trainer lock is held (a refit in
-        flight).  Otherwise returns whether the batch triggered a refit
-        submission.
+        applying nothing, mirroring nothing (the caller re-delivers the
+        same batch later, and mirroring a refused batch here would
+        double-mirror it then) — if the trainer lock is held (a refit
+        in flight).  Otherwise returns whether the batch triggered a
+        refit submission, after offering the key's challenger (if any)
+        its mirrored share without ever blocking on the challenger's
+        own training.
         """
         key = self._key(table, columns)
         feedback = list(feedback)
         if not feedback:
             return False
-        served = self._served_model(key)
-        if not served.lock.acquire(blocking=blocking):
+        decision = self._absorb_into_champion(key, feedback, blocking=blocking)
+        if decision is None:
             return None
-        try:
-            decision = self._absorb(served, feedback)
-        finally:
-            served.lock.release()
         self._stats.record_observations(len(feedback))
+        self._mirror_to_challenger(key, feedback, blocking=False)
         try:
             return self._maybe_refit(key, decision)
         except ServingError:
@@ -433,7 +726,19 @@ class SelectivityService:
         return self._registry.current(key)
 
     def drain(self, timeout: float | None = None) -> None:
-        """Wait for all in-flight background refits to finish."""
+        """Absorb all pending mirrored feedback, then wait out refits.
+
+        Challenger mirror backlogs are drained first (blocking), so any
+        refit that drain triggers is covered by the scheduler wait that
+        follows — after this returns, every accepted observation is in
+        its trainer and every submitted refit has published.  Migration
+        relies on this to capture complete drift/A/B evidence before a
+        hand-off.
+        """
+        with self._lock:
+            challengers = dict(self._challengers)
+        for key, challenger in challengers.items():
+            self._drain_challenger(key, challenger, blocking=True)
         self._scheduler.drain(timeout)
 
     @property
@@ -472,17 +777,174 @@ class SelectivityService:
     def _key(self, table: str | ModelKey, columns: Sequence[str]) -> ModelKey:
         return normalize_key(table, columns)
 
+    def _error_window(self) -> int:
+        """Drift-window size every served/challenger slot is created with."""
+        return max(self._policy.drift_window, self._policy.min_drift_observations)
+
+    def _absorb_into_champion(
+        self,
+        key: ModelKey,
+        feedback: Sequence[tuple[PredicateLike, float, float]],
+        blocking: bool,
+    ) -> RefitDecision | None:
+        """Feed priced observations to the champion trainer.
+
+        Returns the policy decision, or None when ``blocking=False`` and
+        the trainer lock was busy.  Re-resolves the served slot once if
+        a promote() retired it between lookup and lock acquisition.
+        """
+        for _ in range(2):
+            served = self._served_model(key)
+            if not served.lock.acquire(blocking=blocking):
+                return None
+            try:
+                if served.retired:
+                    continue
+                return self._absorb(served, feedback)
+            finally:
+                served.lock.release()
+        raise ServingError(
+            f"served slot for key {key} kept changing; retry the write"
+        )
+
     def _absorb(
         self,
         served: _ServedModel,
         feedback: Sequence[tuple[PredicateLike, float, float]],
     ) -> RefitDecision:
         """Feed priced observations to the trainer; caller holds its lock."""
-        for predicate, selectivity, served_estimate in feedback:
-            served.trainer.observe(predicate, selectivity)
-            served.pending += 1
-            served.errors.append(abs(served_estimate - selectivity))
+        errors = [
+            abs(served_estimate - selectivity)
+            for _, selectivity, served_estimate in feedback
+        ]
+        served.trainer.observe_many(
+            [(predicate, selectivity) for predicate, selectivity, _ in feedback]
+        )
+        served.pending += len(feedback)
+        served.errors.extend(errors)
+        self._stats.record_backend_errors(
+            served.key, _backend_name(served.trainer), errors
+        )
         return self._policy.decide(served.pending, served.errors)
+
+    def _mirror_to_challenger(
+        self,
+        key: ModelKey,
+        feedback: Sequence[tuple[PredicateLike, float, float]],
+        blocking: bool,
+    ) -> None:
+        """Offer a key's feedback to its challenger (if any).
+
+        The mirrored share (``shadow_frac`` via deterministic stride
+        sampling) is appended to the challenger's backlog under its own
+        mirror lock — never the trainer lock — and then drained
+        opportunistically, so a challenger mid-refit can never stall the
+        key's write path.  Undrained backlog is picked up by the next
+        mirror, the next challenger refit, or promote().
+        """
+        with self._lock:
+            challenger = self._challengers.get(key)
+        if challenger is None:
+            return
+        frac = challenger.shadow_frac
+        taken: list[tuple[PredicateLike, float]] = []
+        with challenger.mirror_lock:
+            if challenger.retired:
+                return
+            for predicate, selectivity, _ in feedback:
+                challenger.mirror_seen += 1
+                if math.floor(challenger.mirror_seen * frac) > math.floor(
+                    (challenger.mirror_seen - 1) * frac
+                ):
+                    taken.append((predicate, selectivity))
+            if taken:
+                challenger.backlog.extend(taken)
+        if not taken:
+            return
+        self._stats.record_mirrored_observations(len(taken))
+        self._drain_challenger(key, challenger, blocking=blocking)
+
+    def _absorb_mirrored_locked(
+        self,
+        key: ModelKey,
+        challenger: _ChallengerModel,
+        batch: Sequence[tuple[PredicateLike, float]],
+        snapshot: ModelSnapshot | None = None,
+    ) -> None:
+        """Price and absorb mirrored feedback; caller holds the trainer lock.
+
+        Every mirrored observation — drained opportunistically or folded
+        in by a refit, promote, or hand-off — goes through here, so the
+        challenger's drift window and its per-backend A/B error stats
+        cover the same share of traffic the mirror sampled, including
+        the backlog accumulated while a refit held the trainer lock
+        (otherwise the A/B comparison would silently skip exactly the
+        high-load periods).  ``snapshot`` may be passed when the
+        challenger's registry entry is already gone (hand-off).
+        """
+        if not batch:
+            return
+        if snapshot is None:
+            try:
+                snapshot = self._registry.current_challenger(key)
+            except ServingError:
+                snapshot = None
+        if snapshot is not None:
+            estimates = snapshot.estimate_many([p for p, _ in batch])
+            errors = [
+                abs(float(estimate) - selectivity)
+                for (_, selectivity), estimate in zip(batch, estimates)
+            ]
+        else:
+            errors = []
+        challenger.trainer.observe_many(batch)
+        challenger.pending += len(batch)
+        challenger.errors.extend(errors)
+        self._stats.record_backend_errors(
+            key, _challenger_stats_name(challenger.trainer), errors
+        )
+
+    def _drain_challenger(
+        self, key: ModelKey, challenger: _ChallengerModel, blocking: bool
+    ) -> bool:
+        """Move the mirror backlog into the challenger's trainer.
+
+        Prices each observation against the challenger's *current*
+        snapshot (one vectorised call) for its drift/error window, and
+        submits a challenger refit when the policy says so.  Returns
+        False when ``blocking=False`` and the trainer lock was busy.
+        """
+        if not challenger.lock.acquire(blocking=blocking):
+            return False
+        try:
+            with challenger.mirror_lock:
+                # Retired is checked *before* the backlog is popped (and
+                # is only ever set under this lock, by promote's own
+                # drain): a drain racing a promote either wins the
+                # backlog here or leaves it for promote — never pops it
+                # and then throws it away.
+                if challenger.retired:
+                    return True
+                batch = list(challenger.backlog)
+                challenger.backlog.clear()
+            if not batch:
+                return True
+            self._absorb_mirrored_locked(key, challenger, batch)
+            decision = self._policy.decide(
+                challenger.pending, challenger.errors
+            )
+        finally:
+            challenger.lock.release()
+        if decision:
+            try:
+                self._scheduler.submit(
+                    (key, "challenger"), lambda: self._refit_challenger(key)
+                )
+            except ServingError:
+                # Scheduler shut down mid-teardown; the feedback is
+                # absorbed, only the background retrain is skipped.
+                pass
+        return True
 
     def _maybe_refit(self, key: ModelKey, decision: RefitDecision) -> bool:
         if not decision:
@@ -501,12 +963,25 @@ class SelectivityService:
                     "call register_model() first"
                 ) from error
 
+    def _challenger_model(self, key: ModelKey) -> _ChallengerModel:
+        with self._lock:
+            try:
+                return self._challengers[key]
+            except KeyError as error:
+                raise ServingError(
+                    f"no challenger registered for key {key}; "
+                    "call register_challenger() first"
+                ) from error
+
     def _cache_key(
-        self, key: ModelKey, snapshot: ModelSnapshot, predicate: PredicateLike
+        self, key: object, snapshot: ModelSnapshot, predicate: PredicateLike
     ) -> tuple | None:
         """The cache key for a predicate, or None if it has no stable key.
 
-        Custom :class:`~repro.core.predicate.Predicate`/``Constraint``
+        ``key`` is the model key for champion reads, or the
+        ``("challenger", model_key)`` scope for challenger reads — the
+        two version chains must never share cache entries.  Custom
+        :class:`~repro.core.predicate.Predicate`/``Constraint``
         subclasses are estimable (via ``to_region``) but not structurally
         keyable; they are served uncached rather than rejected.
         """
@@ -516,7 +991,7 @@ class SelectivityService:
             return None
 
     def _estimate_cached(
-        self, key: ModelKey, snapshot: ModelSnapshot, predicate: PredicateLike
+        self, key: object, snapshot: ModelSnapshot, predicate: PredicateLike
     ) -> tuple[float, bool]:
         cache_key = self._cache_key(key, snapshot, predicate)
         if cache_key is not None:
@@ -529,19 +1004,69 @@ class SelectivityService:
         return value, False
 
     def _refit(self, key: ModelKey) -> None:
-        served = self._served_model(key)
         # The publish happens under the same lock as the training so two
         # concurrent refits for one key (background worker + refit_now)
         # cannot publish out of order and leave a staler model as the
-        # highest version.
-        with served.lock:
-            stats = served.trainer.refit()
-            model = served.trainer.model
-            assert model is not None
-            served.pending = 0
-            served.errors.clear()
-            self._registry.publish(key, model, stats.observed_queries)
-        self._stats.record_refit_completed()
+        # highest version.  Like _absorb_into_champion, the retired flag
+        # is re-checked *under the lock* and the slot re-resolved: a
+        # promote() landing between lookup and acquisition must not let
+        # this job publish the retired trainer's model over the freshly
+        # promoted one.
+        for _ in range(2):
+            served = self._served_model(key)
+            with served.lock:
+                if served.retired:
+                    continue
+                self._refit_locked(key, served)
+                self._stats.record_refit_completed()
+                return
+        raise ServingError(
+            f"served slot for key {key} kept changing; retry the refit"
+        )
+
+    def _refit_locked(self, key: ModelKey, served: _ServedModel) -> None:
+        served.trainer.refit()
+        model = served.trainer.snapshot_model()
+        if model is None:
+            raise ServingError(
+                f"backend {_backend_name(served.trainer)} produced no model "
+                f"after refit for key {key}"
+            )
+        served.pending = 0
+        served.errors.clear()
+        self._registry.publish(key, model, served.trainer.trained_count)
+
+    def _refit_challenger(self, key: ModelKey) -> None:
+        """Background retrain of a key's challenger; silent if it left."""
+        with self._lock:
+            challenger = self._challengers.get(key)
+        if challenger is None:
+            return
+        with challenger.lock:
+            if challenger.retired or not self._registry.has_challenger(key):
+                return
+            # Fold in any backlog the non-blocking mirror path left
+            # behind; this refit should train on everything mirrored,
+            # and the fold is priced like any drain so the A/B error
+            # stats cover the backlog too.
+            with challenger.mirror_lock:
+                backlog = list(challenger.backlog)
+                challenger.backlog.clear()
+            self._absorb_mirrored_locked(key, challenger, backlog)
+            challenger.trainer.refit()
+            model = challenger.trainer.snapshot_model()
+            if model is None:
+                raise ServingError(
+                    f"challenger backend {_backend_name(challenger.trainer)} "
+                    f"produced no model after refit for key {key}"
+                )
+            challenger.pending = 0
+            challenger.errors.clear()
+            self._registry.publish_challenger(
+                key, model, challenger.trainer.trained_count
+            )
+        self._cache.invalidate(("challenger", key))
+        self._stats.record_challenger_refit()
 
     def _on_publish(self, key: ModelKey, snapshot: ModelSnapshot) -> None:
         # Version-scoped keys already guarantee correctness; eager
@@ -551,5 +1076,6 @@ class SelectivityService:
     def __repr__(self) -> str:
         return (
             f"SelectivityService(models={len(self._served)}, "
+            f"challengers={len(self._challengers)}, "
             f"scheduler={self._scheduler.mode!r})"
         )

@@ -5,12 +5,20 @@ cache counters, refit counts, and a bounded reservoir of per-request
 latencies from which p50/p99 are computed on demand.  It deliberately has
 no external dependencies — :meth:`ServingStats.snapshot` returns a plain
 dict that callers can ship to whatever metrics system they run.
+
+A/B serving adds a per-backend error surface: every observation's
+``|served - true|`` error is recorded under ``(model key, backend
+name)``, for the champion and for any mirrored challenger, so operators
+can read "QuickSel vs ST-Holes on table X" straight off the stats — the
+evidence a :meth:`~repro.serving.service.SelectivityService.promote`
+decision is made on.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -22,19 +30,29 @@ __all__ = ["ServingStats"]
 class ServingStats:
     """Counters and latency percentiles for a :class:`SelectivityService`."""
 
-    def __init__(self, latency_window: int = 4096) -> None:
+    def __init__(
+        self, latency_window: int = 4096, backend_error_window: int = 512
+    ) -> None:
         if latency_window < 1:
             raise ServingError("latency_window must be at least 1")
+        if backend_error_window < 1:
+            raise ServingError("backend_error_window must be at least 1")
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._backend_error_window = backend_error_window
+        # (model key string, backend name) -> recent |served - true| errors.
+        self._backend_errors: dict[tuple[str, str], deque[float]] = {}
         self.estimate_requests = 0
         self.batch_requests = 0
         self.predicates_served = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.observations = 0
+        self.challenger_observations = 0
         self.refits_triggered = 0
         self.refits_completed = 0
+        self.challenger_refits = 0
+        self.promotions = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -71,6 +89,53 @@ class ServingStats:
         with self._lock:
             self.observations += count
 
+    def record_mirrored_observations(self, count: int) -> None:
+        """Feedback mirrored to a shadowing challenger backend."""
+        if count < 0:
+            raise ServingError("observation count must be non-negative")
+        with self._lock:
+            self.challenger_observations += count
+
+    def record_backend_errors(
+        self, model: object, backend: str, errors: Sequence[float]
+    ) -> None:
+        """Record ``|served - true|`` errors for one key's backend.
+
+        ``model`` is rendered with ``str`` so the surface stays a plain
+        dict; both the champion and any challenger report here under
+        their own backend name, which is what makes the per-key A/B
+        error comparison readable from one place.
+        """
+        if not errors:
+            return
+        scope = (str(model), backend)
+        with self._lock:
+            window = self._backend_errors.get(scope)
+            if window is None:
+                window = deque(maxlen=self._backend_error_window)
+                self._backend_errors[scope] = window
+            window.extend(errors)
+
+    def forget_backend_errors(
+        self, model: object, backend: str | None = None
+    ) -> None:
+        """Drop a key's backend-error windows (hand-off/unregister).
+
+        With ``backend`` given, only that backend's window goes — a
+        retired challenger must not leak its history into a later
+        challenger that happens to share the backend name; with
+        ``backend=None`` the whole key is forgotten (champion
+        hand-off).
+        """
+        name = str(model)
+        with self._lock:
+            for scope in [
+                s
+                for s in self._backend_errors
+                if s[0] == name and (backend is None or s[1] == backend)
+            ]:
+                del self._backend_errors[scope]
+
     def record_refit_triggered(self) -> None:
         """A policy trigger fired (the refit may still be coalesced)."""
         with self._lock:
@@ -80,6 +145,16 @@ class ServingStats:
         """A refit finished and its model was published."""
         with self._lock:
             self.refits_completed += 1
+
+    def record_challenger_refit(self) -> None:
+        """A challenger refit finished and its snapshot was published."""
+        with self._lock:
+            self.challenger_refits += 1
+
+    def record_promotion(self) -> None:
+        """A challenger was atomically promoted to champion."""
+        with self._lock:
+            self.promotions += 1
 
     # ------------------------------------------------------------------
     # Reading
@@ -121,6 +196,35 @@ class ServingStats:
         """Tail request latency."""
         return self.latency_percentile(99.0)
 
+    def backend_errors(self) -> dict[str, dict[str, float]]:
+        """Mean absolute error per ``{model key: {backend name: error}}``.
+
+        The A/B readout: with a challenger mirrored behind a key, the
+        key's dict holds one entry per backend over each backend's
+        recent error window.  Keys with no recorded errors are absent.
+        """
+        with self._lock:
+            view: dict[str, dict[str, float]] = {}
+            for (model, backend), window in self._backend_errors.items():
+                if window:
+                    view.setdefault(model, {})[backend] = float(
+                        sum(window) / len(window)
+                    )
+            return view
+
+    def backend_error_windows(self) -> dict[tuple[str, str], tuple[float, ...]]:
+        """The raw per-(key, backend) error windows, oldest first.
+
+        Fleet aggregators (:class:`~repro.cluster.stats.ClusterStats`)
+        merge these instead of averaging per-shard means.
+        """
+        with self._lock:
+            return {
+                scope: tuple(window)
+                for scope, window in self._backend_errors.items()
+                if window
+            }
+
     def counters(self) -> dict[str, int]:
         """The plain counters under one lock acquisition.
 
@@ -136,16 +240,25 @@ class ServingStats:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "observations": self.observations,
+                "challenger_observations": self.challenger_observations,
                 "refits_triggered": self.refits_triggered,
                 "refits_completed": self.refits_completed,
+                "challenger_refits": self.challenger_refits,
+                "promotions": self.promotions,
             }
 
-    def snapshot(self) -> dict[str, float]:
-        """A plain-dict view of every counter plus derived metrics."""
-        counters: dict[str, float] = dict(self.counters())
+    def snapshot(self) -> dict[str, object]:
+        """A plain-dict view of every counter plus derived metrics.
+
+        Includes the per-key :meth:`backend_errors` A/B surface, so a
+        plain single-service deployment ships the same promote evidence
+        the cluster's ``stats.snapshot()['backend_errors']`` exports.
+        """
+        counters: dict[str, object] = dict(self.counters())
         counters["hit_rate"] = self.hit_rate
         counters["p50_latency_seconds"] = self.p50_latency_seconds
         counters["p99_latency_seconds"] = self.p99_latency_seconds
+        counters["backend_errors"] = self.backend_errors()
         return counters
 
     def __repr__(self) -> str:

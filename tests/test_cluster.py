@@ -770,7 +770,9 @@ class TestClusterStats:
             )
             assert cluster.stats.p99_latency_seconds >= 0.0
             snapshot = cluster.stats.snapshot()
-            assert set(snapshot) == {"aggregate", "per_shard"}
+            assert set(snapshot) == {
+                "aggregate", "per_shard", "backend_errors"
+            }
         finally:
             cluster.close()
 
