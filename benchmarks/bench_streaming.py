@@ -1,0 +1,441 @@
+"""Streaming-window training benchmark: flat cost, bounded memory, drift.
+
+Measures the three claims the streaming-window pipeline makes:
+
+1. **Sustained refit latency stays flat over a long stream.**  A
+   10k-query feedback stream is refitted every 32 observations with a
+   fixed subpopulation count.  The windowed trainer
+   (``window_policy="sliding"``) folds Δn rows in and the expired rows
+   out, so per-refit work is bounded by the window; the unbounded
+   trainer (PR 3's incremental path, ``window_policy="none"``) keeps
+   every row, so its per-refit normal-equation work grows linearly with
+   the stream.  The bar: the windowed trainer's late-stream refits are
+   no slower than ``FLATNESS_BAR``x its early steady-state refits, and
+   at end of stream the unbounded trainer is at least
+   ``MIN_END_SPEEDUP``x slower per refit.
+
+2. **Row-store memory is bounded by the training window.**  The
+   windowed store's backing buffer must never grow after the window
+   fills (its byte size is recorded every refit and asserted constant —
+   the flat-memory guard, asserted in ``--quick`` too), while the
+   unbounded trainer's row count is recorded marching up to the stream
+   length.
+
+3. **Estimation error recovers ≥ 2x faster after an abrupt shift.**
+   Both trainers serve the
+   :class:`~repro.workloads.drift.AbruptShiftStream` scenario; after
+   the shift, held-out probe error is integrated refit-by-refit.  The
+   windowed trainer retrains onto its post-shift window while the
+   unbounded one keeps averaging the dead distribution, so its
+   integrated post-shift error must be at least
+   ``MIN_RECOVERY_SPEEDUP``x the windowed trainer's — and the windowed
+   trainer must actually get back under the recovery threshold.
+
+A parity checkpoint rides along (asserted in ``--quick`` too): at
+checkpoints along the windowed stream the weights are compared against
+``build_problem`` + ``solve`` on the *same* subpopulations and exactly
+the live window's queries; max divergence must stay within 1e-9.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_streaming.py --benchmark-only`` — through
+  the pytest-benchmark harness like the other benches, or
+* ``python benchmarks/bench_streaming.py [--quick] [--json PATH]`` —
+  standalone script (used by CI); ``--quick`` shrinks the stream and
+  asserts only parity and the flat-memory guard (shared runners are too
+  noisy for timing bars).  The full run's results are committed as
+  ``BENCH_streaming.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import QuickSelConfig
+from repro.core.quicksel import QuickSel
+from repro.core.training import build_problem, solve
+from repro.workloads.drift import AbruptShiftStream
+from repro.workloads.queries import RandomRangeQueryGenerator, labelled_feedback
+from repro.workloads.synthetic import gaussian_dataset
+
+WEIGHT_PARITY = 1e-9
+FLATNESS_BAR = 1.5       # late-stream windowed refits vs early steady state
+MIN_END_SPEEDUP = 2.0    # unbounded vs windowed per-refit cost at stream end
+MIN_RECOVERY_SPEEDUP = 2.0
+RECOVERY_ERROR_BAR = 0.05
+
+
+def build_stream(stream_length: int, rows: int, seed: int = 0):
+    """A labelled feedback stream over a correlated Gaussian dataset."""
+    dataset = gaussian_dataset(rows, dimension=2, correlation=0.5, seed=seed)
+    generator = RandomRangeQueryGenerator(dataset.domain, seed=seed + 1)
+    feedback = labelled_feedback(generator.generate(stream_length), dataset.rows)
+    return dataset, feedback
+
+
+def window_scratch_weights(estimator: QuickSel, domain) -> np.ndarray:
+    """From-scratch training on the live window and cached subpopulations."""
+    problem = build_problem(
+        list(estimator.trainer.subpopulations),
+        estimator.observed_queries,  # the live window under a window policy
+        domain=domain,
+        include_default_query=estimator.config.include_default_query,
+    )
+    return solve(
+        problem,
+        solver=estimator.config.solver,
+        penalty=estimator.config.penalty,
+        regularization=estimator.config.regularization,
+    ).weights
+
+
+# ----------------------------------------------------------------------
+# Claims 1 + 2: flat refit latency and bounded row-store memory
+# ----------------------------------------------------------------------
+def run_stream(
+    feedback,
+    domain,
+    config: QuickSelConfig,
+    refit_interval: int,
+    parity_every: int | None = None,
+):
+    """Drive the observe/refit loop; time refits, track memory, spot parity."""
+    estimator = QuickSel(domain, config)
+    refit_seconds: list[float] = []
+    store_rows: list[int] = []
+    store_nbytes: list[int] = []
+    window_sizes: list[int] = []
+    parity = 0.0
+    parity_checks = 0
+    for index, start in enumerate(range(0, len(feedback), refit_interval)):
+        estimator.observe_many(feedback[start : start + refit_interval])
+        began = time.perf_counter()
+        estimator.refit()
+        refit_seconds.append(time.perf_counter() - began)
+        store = estimator.trainer.row_store
+        store_rows.append(len(store))
+        store_nbytes.append(store.nbytes)
+        window_sizes.append(estimator.last_refit.window_size)
+        if parity_every is not None and (
+            index % parity_every == 0 or start + refit_interval >= len(feedback)
+        ):
+            expected = window_scratch_weights(estimator, domain)
+            observed = estimator.trainer.last_report.result.weights
+            parity = max(parity, float(np.abs(observed - expected).max()))
+            parity_checks += 1
+    seconds = np.array(refit_seconds)
+    quarter = max(len(seconds) // 4, 1)
+    return estimator, {
+        "refits": len(refit_seconds),
+        "total_refit_seconds": float(seconds.sum()),
+        "mean_refit_ms": float(seconds.mean() * 1e3),
+        "p95_refit_ms": float(np.percentile(seconds, 95.0) * 1e3),
+        "last_refit_ms": float(seconds[-1] * 1e3),
+        # Quarter means: the flatness evidence (Q2 = early steady state
+        # with the window already full, Q4 = end of stream).
+        "q2_mean_refit_ms": float(seconds[quarter : 2 * quarter].mean() * 1e3),
+        "q4_mean_refit_ms": float(seconds[-quarter:].mean() * 1e3),
+        "peak_store_rows": int(max(store_rows)),
+        "final_store_rows": int(store_rows[-1]),
+        "peak_store_mbytes": float(max(store_nbytes) / 1e6),
+        "store_nbytes_flat_after_fill": bool(
+            len(set(store_nbytes[len(store_nbytes) // 2 :])) == 1
+        ),
+        "max_window_size": int(max(window_sizes)),
+        "max_weight_parity": parity,
+        "parity_checks": parity_checks,
+    }
+
+
+def run_streaming_benchmark(
+    stream_length: int = 10_000,
+    rows: int = 8_000,
+    refit_interval: int = 32,
+    subpopulations: int = 192,
+    training_window: int = 512,
+    parity_every: int = 16,
+    check_timing: bool = True,
+) -> dict[str, object]:
+    """Windowed vs unbounded sustained refits over one long feedback stream."""
+    dataset, feedback = build_stream(stream_length, rows)
+    windowed_config = QuickSelConfig(
+        fixed_subpopulations=subpopulations,
+        random_seed=0,
+        window_policy="sliding",
+        training_window=training_window,
+    )
+    unbounded_config = QuickSelConfig(
+        fixed_subpopulations=subpopulations, random_seed=0
+    )
+
+    windowed_est, windowed = run_stream(
+        feedback, dataset.domain, windowed_config, refit_interval,
+        parity_every=parity_every,
+    )
+    _, unbounded = run_stream(
+        feedback, dataset.domain, unbounded_config, refit_interval
+    )
+
+    # The windowed model must still reproduce its own recent feedback.
+    errors = [
+        abs(windowed_est.estimate(predicate) - selectivity)
+        for predicate, selectivity in feedback[-50:]
+    ]
+    assert float(np.mean(errors)) < 0.05, (
+        "windowed model fails to reproduce its own window's feedback"
+    )
+
+    # The memory bound (the --quick flat-memory guard): the windowed
+    # store's backing buffer holds at most window+1 rows and stops
+    # changing size once the window fills, while the unbounded store
+    # grows with the stream.
+    assert windowed["peak_store_rows"] <= training_window + 1, (
+        f"windowed store held {windowed['peak_store_rows']} rows "
+        f"(window {training_window})"
+    )
+    assert windowed["max_window_size"] <= training_window
+    assert windowed["store_nbytes_flat_after_fill"], (
+        "windowed row-store byte size kept changing after the window filled"
+    )
+    assert unbounded["final_store_rows"] >= stream_length, (
+        "unbounded baseline unexpectedly dropped rows"
+    )
+
+    results: dict[str, object] = {
+        "stream_length": stream_length,
+        "refit_interval": refit_interval,
+        "subpopulations": subpopulations,
+        "training_window": training_window,
+        "refits": windowed["refits"],
+        "windowed": windowed,
+        "unbounded": {
+            key: value
+            for key, value in unbounded.items()
+            if key not in ("max_weight_parity", "parity_checks")
+        },
+        "flatness_ratio": windowed["q4_mean_refit_ms"]
+        / windowed["q2_mean_refit_ms"],
+        "flatness_bar": FLATNESS_BAR,
+        "end_of_stream_speedup": unbounded["q4_mean_refit_ms"]
+        / windowed["q4_mean_refit_ms"],
+        "end_of_stream_speedup_bar": MIN_END_SPEEDUP,
+        "max_weight_parity": windowed["max_weight_parity"],
+        "weight_parity_bar": WEIGHT_PARITY,
+    }
+    assert windowed["max_weight_parity"] <= WEIGHT_PARITY, (
+        f"windowed weights diverged {windowed['max_weight_parity']} from "
+        f"from-scratch training on the window (bar: {WEIGHT_PARITY})"
+    )
+    if check_timing:
+        assert results["flatness_ratio"] <= FLATNESS_BAR, (
+            f"windowed refit latency grew {results['flatness_ratio']:.2f}x "
+            f"over the stream (bar: {FLATNESS_BAR}x)"
+        )
+        assert results["end_of_stream_speedup"] >= MIN_END_SPEEDUP, (
+            f"end-of-stream refit speedup only "
+            f"{results['end_of_stream_speedup']:.2f}x (bar: {MIN_END_SPEEDUP}x)"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Claim 3: post-shift error recovery
+# ----------------------------------------------------------------------
+def run_recovery_benchmark(
+    pre_shift: int = 1_024,
+    post_shift: int = 768,
+    rows: int = 8_000,
+    refit_interval: int = 16,
+    subpopulations: int = 96,
+    training_window: int = 256,
+    probe_count: int = 96,
+) -> dict[str, object]:
+    """Windowed vs unbounded error trajectory across an abrupt shift."""
+
+    def drive(config: QuickSelConfig) -> dict[str, object]:
+        stream = AbruptShiftStream(shift_at=pre_shift, rows=rows, seed=13)
+        estimator = QuickSel(stream.domain, config)
+        estimator.observe_many(stream.labelled(pre_shift), refit=True)
+        probes = stream.probes(probe_count, index=pre_shift)
+        trajectory: list[float] = []
+        recovered_after: int | None = None
+        consumed = 0
+        while consumed < post_shift:
+            estimator.observe_many(stream.labelled(refit_interval), refit=True)
+            consumed += refit_interval
+            error = float(
+                np.mean(
+                    [
+                        abs(estimator.estimate(predicate) - truth)
+                        for predicate, truth in probes
+                    ]
+                )
+            )
+            trajectory.append(error)
+            if recovered_after is None and error <= RECOVERY_ERROR_BAR:
+                recovered_after = consumed
+        return {
+            "post_shift_error_trajectory": trajectory,
+            "integrated_post_shift_error": float(np.sum(trajectory)),
+            "final_post_shift_error": trajectory[-1],
+            "recovered_after_queries": recovered_after,
+        }
+
+    windowed = drive(
+        QuickSelConfig(
+            fixed_subpopulations=subpopulations,
+            random_seed=0,
+            window_policy="sliding",
+            training_window=training_window,
+        )
+    )
+    unbounded = drive(
+        QuickSelConfig(fixed_subpopulations=subpopulations, random_seed=0)
+    )
+    speedup = (
+        unbounded["integrated_post_shift_error"]
+        / windowed["integrated_post_shift_error"]
+    )
+    results = {
+        "pre_shift_queries": pre_shift,
+        "post_shift_queries": post_shift,
+        "training_window": training_window,
+        "subpopulations": subpopulations,
+        "recovery_error_bar": RECOVERY_ERROR_BAR,
+        "windowed": windowed,
+        "unbounded": unbounded,
+        "recovery_speedup": float(speedup),
+        "recovery_speedup_bar": MIN_RECOVERY_SPEEDUP,
+    }
+    assert windowed["recovered_after_queries"] is not None, (
+        "windowed trainer never recovered below the error bar"
+    )
+    assert speedup >= MIN_RECOVERY_SPEEDUP, (
+        f"post-shift recovery only {speedup:.2f}x faster "
+        f"(bar: {MIN_RECOVERY_SPEEDUP}x)"
+    )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def run_streaming_suite(quick: bool = False) -> dict[str, object]:
+    if quick:
+        # CI smoke: asserts window parity and the flat-memory guard, but
+        # no timing or recovery bars — shared runners are too noisy.
+        streaming = run_streaming_benchmark(
+            stream_length=1_200,
+            rows=5_000,
+            refit_interval=16,
+            subpopulations=64,
+            training_window=192,
+            parity_every=8,
+            check_timing=False,
+        )
+        return {"streaming": streaming}
+    streaming = run_streaming_benchmark()
+    recovery = run_recovery_benchmark()
+    return {"streaming": streaming, "recovery": recovery}
+
+
+def render_report(results: dict[str, object]) -> str:
+    streaming = results["streaming"]
+    windowed = streaming["windowed"]
+    unbounded = streaming["unbounded"]
+    lines = [
+        f"streaming-window benchmark ({streaming['stream_length']} queries, "
+        f"refit every {streaming['refit_interval']}, "
+        f"window {streaming['training_window']}, "
+        f"m={streaming['subpopulations']} fixed, "
+        f"{streaming['refits']} refits)",
+        f"  windowed   mean {windowed['mean_refit_ms']:8.2f} ms  "
+        f"Q2 {windowed['q2_mean_refit_ms']:8.2f} ms  "
+        f"Q4 {windowed['q4_mean_refit_ms']:8.2f} ms  "
+        f"peak store {windowed['peak_store_rows']} rows "
+        f"({windowed['peak_store_mbytes']:.2f} MB)",
+        f"  unbounded  mean {unbounded['mean_refit_ms']:8.2f} ms  "
+        f"Q2 {unbounded['q2_mean_refit_ms']:8.2f} ms  "
+        f"Q4 {unbounded['q4_mean_refit_ms']:8.2f} ms  "
+        f"final store {unbounded['final_store_rows']} rows "
+        f"({unbounded['peak_store_mbytes']:.2f} MB)",
+        f"  latency flatness {streaming['flatness_ratio']:.2f}x "
+        f"(bar: <= {streaming['flatness_bar']}x), end-of-stream speedup "
+        f"{streaming['end_of_stream_speedup']:.2f}x "
+        f"(bar: >= {streaming['end_of_stream_speedup_bar']}x)",
+        f"  window parity vs from-scratch: "
+        f"{streaming['max_weight_parity']:.2e} over "
+        f"{windowed['parity_checks']} checkpoints "
+        f"(bar: {WEIGHT_PARITY:.0e})",
+    ]
+    recovery = results.get("recovery")
+    if recovery is not None:
+        lines += [
+            f"abrupt-shift recovery (shift at "
+            f"{recovery['pre_shift_queries']}, window "
+            f"{recovery['training_window']}): windowed back under "
+            f"{recovery['recovery_error_bar']} after "
+            f"{recovery['windowed']['recovered_after_queries']} queries "
+            f"(final {recovery['windowed']['final_post_shift_error']:.4f}); "
+            f"unbounded final "
+            f"{recovery['unbounded']['final_post_shift_error']:.4f}",
+            f"  integrated post-shift error ratio "
+            f"{recovery['recovery_speedup']:.2f}x "
+            f"(bar: >= {recovery['recovery_speedup_bar']}x)",
+        ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_flat_refit_latency_and_bounded_memory(benchmark):
+    """Windowed refits stay flat and bounded over a 10k-query stream."""
+    results = benchmark.pedantic(run_streaming_benchmark, rounds=1, iterations=1)
+    benchmark.extra_info["flatness_ratio"] = results["flatness_ratio"]
+    benchmark.extra_info["end_of_stream_speedup"] = results[
+        "end_of_stream_speedup"
+    ]
+    benchmark.extra_info["max_weight_parity"] = results["max_weight_parity"]
+
+
+def test_post_shift_recovery(benchmark):
+    """Windowed training recovers >= 2x faster after an abrupt shift."""
+    results = benchmark.pedantic(run_recovery_benchmark, rounds=1, iterations=1)
+    benchmark.extra_info["recovery_speedup"] = results["recovery_speedup"]
+
+
+# ----------------------------------------------------------------------
+# Standalone CLI (used by CI's smoke run)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (asserts window parity and "
+        "the flat-memory guard; skips timing and recovery bars)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the results dict as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    results = run_streaming_suite(quick=args.quick)
+    print(render_report(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
+    print("streaming benchmark: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

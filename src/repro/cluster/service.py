@@ -576,6 +576,16 @@ class ShardedSelectivityService:
             in source.stats.backend_error_windows().items()
             if model == str(key)
         }
+        # The lifetime accumulators behind the relative drift (shift)
+        # trigger move too; they are *installed* after the window replay
+        # below (absorb replaces, so the replayed window is not counted
+        # twice).
+        lifetime_totals = {
+            (model, backend): totals
+            for (model, backend), totals
+            in source.stats.lifetime_error_totals().items()
+            if model == str(key)
+        }
         # An A/B pair moves as a pair: withdraw the challenger first
         # (the registry refuses to split them), then re-shadow it on the
         # destination with its mirrored state — the same exact-snapshot
@@ -602,6 +612,8 @@ class ShardedSelectivityService:
             )
         for backend, window in backend_windows.items():
             dest.stats.record_backend_errors(key, backend, window)
+        if lifetime_totals:
+            dest.stats.absorb_lifetime_errors(lifetime_totals)
         # Final sweep: an observe that raced the hand-off may have
         # buffered on the source after its last flush; forward the
         # leftovers (and release the source's per-key buffer state).

@@ -32,6 +32,7 @@ _SUMMED_COUNTERS = (
     "observations",
     "challenger_observations",
     "refits_triggered",
+    "drift_refits_triggered",
     "refits_completed",
     "challenger_refits",
     "promotions",

@@ -41,7 +41,11 @@ class RefitStats:
 
     ``incremental`` is True when the refit extended the cached training
     problem with only the ``delta_rows`` newly observed queries instead
-    of rebuilding subpopulations and matrices from scratch.
+    of rebuilding subpopulations and matrices from scratch.  Under a
+    window policy, ``evicted_rows`` counts the cached rows that expired
+    out of the training window this refit and ``window_size`` is the
+    live query-row count the published model was trained on (equal to
+    ``observed_queries`` when unwindowed).
     """
 
     observed_queries: int
@@ -52,6 +56,8 @@ class RefitStats:
     solve_seconds: float
     incremental: bool = False
     delta_rows: int = 0
+    evicted_rows: int = 0
+    window_size: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -77,6 +83,7 @@ class QuickSel:
             domain, self._config, builder=self._builder
         )
         self._queries: list[ObservedQuery] = []
+        self._observed_total = 0
         self._model: UniformMixtureModel | None = None
         self._stale = True
         self._trained_count = 0
@@ -97,13 +104,20 @@ class QuickSel:
 
     @property
     def observed_queries(self) -> Sequence[ObservedQuery]:
-        """All feedback recorded so far."""
+        """The live training stream, oldest first.
+
+        All feedback recorded so far under ``window_policy="none"``;
+        under a sliding/decayed window, the last ``training_window``
+        observations — expired feedback is dropped eagerly so the
+        estimator's memory is bounded by the window too, not just the
+        trainer's row store.
+        """
         return tuple(self._queries)
 
     @property
     def observed_count(self) -> int:
-        """Number of observed queries ``n``."""
-        return len(self._queries)
+        """Lifetime number of observed queries ``n`` (incl. expired)."""
+        return self._observed_total
 
     @property
     def model(self) -> UniformMixtureModel | None:
@@ -164,6 +178,8 @@ class QuickSel:
         """
         region = self._as_region(predicate)
         self._queries.append(ObservedQuery(region=region, selectivity=selectivity))
+        self._observed_total += 1
+        self._trim_to_window()
         self._stale = True
         if refit:
             self.refit()
@@ -185,6 +201,8 @@ class QuickSel:
         ]
         if converted:
             self._queries.extend(converted)
+            self._observed_total += len(converted)
+            self._trim_to_window()
             self._stale = True
         if refit:
             self.refit()
@@ -199,7 +217,9 @@ class QuickSel:
         refit, rebuild-policy triggers, or ``incremental_training=False``
         — transparently fall back to full assembly.
         """
-        report = self._trainer.fit(self._queries, self._rng)
+        report = self._trainer.fit(
+            self._queries, self._rng, observed_total=self._observed_total
+        )
         model = UniformMixtureModel(report.subpopulations, report.result.weights)
         if self._config.clip_negative_weights:
             model = model.clipped()
@@ -207,7 +227,7 @@ class QuickSel:
         self._stale = False
         self._trained_count = self._trainer.trained_count
         self._last_refit = RefitStats(
-            observed_queries=len(self._queries),
+            observed_queries=self._observed_total,
             subpopulations=len(report.subpopulations),
             solver=report.result.solver,
             constraint_residual=report.result.constraint_residual,
@@ -215,6 +235,8 @@ class QuickSel:
             solve_seconds=report.solve_seconds,
             incremental=report.incremental,
             delta_rows=report.delta_rows,
+            evicted_rows=report.evicted_rows,
+            window_size=report.window_size,
         )
         return self._last_refit
 
@@ -255,6 +277,17 @@ class QuickSel:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _trim_to_window(self) -> None:
+        """Drop feedback that expired out of the training window.
+
+        Under ``window_policy="none"`` this is a no-op; otherwise the
+        raw query list is bounded by ``training_window`` just like the
+        trainer's row store, so lifetime memory stays flat.
+        """
+        window = self._config.training_window
+        if window is not None and len(self._queries) > window:
+            del self._queries[: len(self._queries) - window]
+
     def _as_region(
         self, predicate: Predicate | Hyperrectangle | Region
     ) -> Region:

@@ -822,10 +822,17 @@ class SelectivityService:
         )
         served.pending += len(feedback)
         served.errors.extend(errors)
-        self._stats.record_backend_errors(
-            served.key, _backend_name(served.trainer), errors
+        name = _backend_name(served.trainer)
+        self._stats.record_backend_errors(served.key, name, errors)
+        lifetime_count, lifetime_mean = self._lifetime_evidence(
+            served.key, name
         )
-        return self._policy.decide(served.pending, served.errors)
+        return self._policy.decide(
+            served.pending,
+            served.errors,
+            lifetime_error=lifetime_mean,
+            lifetime_observations=lifetime_count,
+        )
 
     def _mirror_to_challenger(
         self,
@@ -930,8 +937,14 @@ class SelectivityService:
             if not batch:
                 return True
             self._absorb_mirrored_locked(key, challenger, batch)
+            lifetime_count, lifetime_mean = self._lifetime_evidence(
+                key, _challenger_stats_name(challenger.trainer)
+            )
             decision = self._policy.decide(
-                challenger.pending, challenger.errors
+                challenger.pending,
+                challenger.errors,
+                lifetime_error=lifetime_mean,
+                lifetime_observations=lifetime_count,
             )
         finally:
             challenger.lock.release()
@@ -946,10 +959,25 @@ class SelectivityService:
                 pass
         return True
 
+    def _lifetime_evidence(self, key: object, backend: str) -> tuple[int, float]:
+        """The shift trigger's lifetime denominator, or nothing.
+
+        Only fetched when the policy can actually use it: with
+        ``drift_ratio`` unset (the default) this skips the extra stats
+        lock acquisition on the hot write path entirely.  The lifetime
+        mean includes the batch just recorded, like the drift window
+        does.
+        """
+        if self._policy.drift_ratio is None:
+            return 0, 0.0
+        return self._stats.lifetime_backend_error(key, backend)
+
     def _maybe_refit(self, key: ModelKey, decision: RefitDecision) -> bool:
         if not decision:
             return False
         self._stats.record_refit_triggered()
+        if decision.trigger in ("drift", "drift_shift"):
+            self._stats.record_drift_refit_triggered()
         self._scheduler.submit(key, lambda: self._refit(key))
         return True
 

@@ -42,6 +42,11 @@ class ServingStats:
         self._backend_error_window = backend_error_window
         # (model key string, backend name) -> recent |served - true| errors.
         self._backend_errors: dict[tuple[str, str], deque[float]] = {}
+        # (model key string, backend name) -> [count, error sum] over the
+        # backend's whole service lifetime — the denominator of the
+        # relative drift (shift) trigger.  Unlike the bounded windows
+        # above these never forget (except on hand-off/unregister).
+        self._lifetime_errors: dict[tuple[str, str], list[float]] = {}
         self.estimate_requests = 0
         self.batch_requests = 0
         self.predicates_served = 0
@@ -50,6 +55,7 @@ class ServingStats:
         self.observations = 0
         self.challenger_observations = 0
         self.refits_triggered = 0
+        self.drift_refits_triggered = 0
         self.refits_completed = 0
         self.challenger_refits = 0
         self.promotions = 0
@@ -115,6 +121,9 @@ class ServingStats:
                 window = deque(maxlen=self._backend_error_window)
                 self._backend_errors[scope] = window
             window.extend(errors)
+            lifetime = self._lifetime_errors.setdefault(scope, [0, 0.0])
+            lifetime[0] += len(errors)
+            lifetime[1] += float(sum(errors))
 
     def forget_backend_errors(
         self, model: object, backend: str | None = None
@@ -129,17 +138,28 @@ class ServingStats:
         """
         name = str(model)
         with self._lock:
-            for scope in [
-                s
-                for s in self._backend_errors
-                if s[0] == name and (backend is None or s[1] == backend)
-            ]:
-                del self._backend_errors[scope]
+            for store in (self._backend_errors, self._lifetime_errors):
+                for scope in [
+                    s
+                    for s in store
+                    if s[0] == name and (backend is None or s[1] == backend)
+                ]:
+                    del store[scope]
 
     def record_refit_triggered(self) -> None:
         """A policy trigger fired (the refit may still be coalesced)."""
         with self._lock:
             self.refits_triggered += 1
+
+    def record_drift_refit_triggered(self) -> None:
+        """A drift trigger (absolute or relative) forced the refit.
+
+        Counted *in addition to* :meth:`record_refit_triggered` — the
+        ratio of the two counters is the share of refits driven by the
+        model being wrong rather than merely out of date.
+        """
+        with self._lock:
+            self.drift_refits_triggered += 1
 
     def record_refit_completed(self) -> None:
         """A refit finished and its model was published."""
@@ -225,6 +245,58 @@ class ServingStats:
                 if window
             }
 
+    def lifetime_backend_error(
+        self, model: object, backend: str
+    ) -> tuple[int, float]:
+        """``(count, mean |error|)`` over the backend's whole lifetime.
+
+        The shift trigger's denominator: the refit policy compares the
+        recent drift window against this to decide whether the key's
+        traffic stopped looking like what the model was trained on.
+        ``(0, 0.0)`` when nothing has been recorded.
+        """
+        with self._lock:
+            lifetime = self._lifetime_errors.get((str(model), backend))
+            if not lifetime or not lifetime[0]:
+                return 0, 0.0
+            return int(lifetime[0]), lifetime[1] / lifetime[0]
+
+    def lifetime_error_totals(self) -> dict[tuple[str, str], tuple[int, float]]:
+        """Raw per-(key, backend) lifetime ``(count, error sum)`` pairs.
+
+        Migration reads these before a hand-off and replays them into
+        the destination via :meth:`absorb_lifetime_errors`, so a moved
+        key's shift trigger keeps its full denominator history.
+        """
+        with self._lock:
+            return {
+                scope: (int(count), float(total))
+                for scope, (count, total) in self._lifetime_errors.items()
+                if count
+            }
+
+    def absorb_lifetime_errors(
+        self, totals: dict[tuple[object, str], tuple[int, float]]
+    ) -> None:
+        """Install migrated lifetime accumulators, replacing any local ones.
+
+        *Replace*, not add: the hand-off replays the bounded error
+        windows first (via :meth:`record_backend_errors`, which also
+        bumps the lifetime accumulators), and the source's totals
+        already contain those observations — adding would double-count
+        the window.
+        """
+        with self._lock:
+            for (model, backend), (count, total) in totals.items():
+                if count < 0 or not np.isfinite(total):
+                    raise ServingError(
+                        f"invalid lifetime error totals for {(model, backend)}"
+                    )
+                self._lifetime_errors[(str(model), backend)] = [
+                    int(count),
+                    float(total),
+                ]
+
     def counters(self) -> dict[str, int]:
         """The plain counters under one lock acquisition.
 
@@ -242,6 +314,7 @@ class ServingStats:
                 "observations": self.observations,
                 "challenger_observations": self.challenger_observations,
                 "refits_triggered": self.refits_triggered,
+                "drift_refits_triggered": self.drift_refits_triggered,
                 "refits_completed": self.refits_completed,
                 "challenger_refits": self.challenger_refits,
                 "promotions": self.promotions,

@@ -4,9 +4,12 @@ Besides the stateless helpers, this module owns the factor cache behind
 the incremental training pipeline: :class:`CachedCholesky` keeps the
 Cholesky factor of the normal matrix ``G = Q + λAᵀA`` alive between
 refits and absorbs newly observed constraint rows with a rank-k update
-(:func:`cholesky_update`) instead of refactorising, falling back to a
-full refactorisation when the update would be slower than a fresh
-factorisation or when the factor's condition estimate degrades.
+(:func:`cholesky_update`) — and, for streaming-window training, folds
+*expired* rows back out with a rank-k downdate
+(:func:`cholesky_downdate`) — instead of refactorising, falling back to
+a full refactorisation when the combined sweep would be slower than a
+fresh factorisation, when the factor's condition estimate degrades, or
+when a downdate loses positive definiteness numerically.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ __all__ = [
     "regularized_solve",
     "project_to_simplex_nonneg",
     "cholesky_update",
+    "cholesky_downdate",
     "CachedCholesky",
 ]
 
@@ -137,34 +141,87 @@ def cholesky_update(factor: np.ndarray, rows: np.ndarray) -> np.ndarray:
     return L
 
 
+def cholesky_downdate(factor: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Rank-k downdate of a lower Cholesky factor: ``L'L'ᵀ = LLᵀ - rowsᵀrows``.
+
+    The mirror of :func:`cholesky_update` for *removing* constraint rows
+    (streaming-window training evicting expired feedback): ``k``
+    sequential rank-1 hyperbolic-rotation sweeps with the column tail
+    vectorised.  Unlike updates, downdates can destroy positive
+    definiteness — the downdated matrix is only SPD if the removed rows
+    were actually part of it, and even then accumulated float error can
+    push a pivot below zero.  The standard guard applies: each pivot
+    must satisfy ``L[j,j]² - w[j]² > 0``; a violation (or any
+    non-finite intermediate) raises :class:`SolverError` so the caller
+    refactorises from the surviving rows instead.
+
+    Returns a new array; the input factor is left untouched.
+    """
+    L = np.array(factor, dtype=float, copy=True)
+    if L.ndim != 2 or L.shape[0] != L.shape[1]:
+        raise SolverError(f"factor must be square; got shape {L.shape}")
+    update = np.atleast_2d(np.asarray(rows, dtype=float))
+    if update.shape[1] != L.shape[0]:
+        raise SolverError(
+            f"downdate rows must have {L.shape[0]} columns; got {update.shape}"
+        )
+    m = L.shape[0]
+    for vector in update:
+        w = vector.copy()
+        for j in range(m):
+            ljj = L[j, j]
+            wj = w[j]
+            if wj == 0.0:
+                continue
+            # (ljj - wj)(ljj + wj) is the numerically kinder form of
+            # ljj² - wj²; non-positive means the downdate would leave
+            # the matrix indefinite — the PD guard.
+            r2 = (ljj - wj) * (ljj + wj)
+            if not np.isfinite(r2) or r2 <= 0.0 or ljj <= 0.0:
+                raise SolverError("cholesky downdate lost positive definiteness; refactorise")
+            r = np.sqrt(r2)
+            c = r / ljj
+            s = wj / ljj
+            L[j, j] = r
+            if j + 1 < m:
+                tail = (L[j + 1 :, j] - s * w[j + 1 :]) / c
+                w[j + 1 :] = c * w[j + 1 :] - s * tail
+                L[j + 1 :, j] = tail
+    return L
+
+
 class CachedCholesky:
     """A reusable Cholesky factorisation of a growing SPD normal matrix.
 
     The incremental trainer keeps one of these per model: a full
-    :meth:`factorize` at (re)build time, then :meth:`update_rows` folds
-    each refit's ``Δn`` new constraint rows into the factor in
-    ``O(Δn·m²)`` instead of the ``O(m³)`` refactorisation.
+    :meth:`factorize` at (re)build time, then :meth:`modify_rows` folds
+    each refit's ``Δn`` new constraint rows in — and, under a sliding
+    training window, the expired rows *out* (rank-k downdate) — in
+    ``O((Δn_in + Δn_out)·m²)`` instead of the ``O(m³)`` refactorisation.
 
-    :meth:`update_rows` *declines* (returns False, leaving the factor
+    :meth:`modify_rows` *declines* (returns False, leaving the factor
     untouched) when the caller should refactorise instead:
 
     * the Python-level rank-1 sweeps would be slower than refactorising.
-      The sweep costs ``k·m`` small numpy operations, each worth about
+      The update+downdate pair is priced together: ``k = k_in + k_out``
+      sweeps cost ``k·m`` small numpy operations, each worth about
       ``update_cost_ratio`` BLAS flops; refactorising costs ``m³/3``
       flops *plus whatever it takes the caller to rebuild the matrix* —
       the trainer passes ``history_rows = n`` so the ``O(n·m²)``
       normal-equation gemm its refactorisation implies is priced in.
       The crossover is ``k · update_cost_ratio > m²/3 + history_rows·m``:
       at small ``m`` and short history a fresh BLAS factorisation wins;
-      as the stream grows the rank-k update takes over and per-refit
-      cost stops scaling with ``n``.
-    * the updated factor's diagonal-based condition estimate exceeds
-      ``condition_limit`` (accumulated update error is no longer safely
-      bounded), or
-    * the sweep breaks down numerically.
+      as the stream (or window) grows the rank-k path takes over and
+      per-refit cost stops scaling with ``n``.
+    * the modified factor's diagonal-based condition estimate exceeds
+      ``condition_limit`` (accumulated update/downdate error is no
+      longer safely bounded), or
+    * a sweep breaks down numerically — which a downdate can do even in
+      exact arithmetic if asked to remove rows the matrix never
+      contained (the positive-definiteness guard).
 
-    The ``refactorizations``/``rank_updates`` counters make the chosen
-    path observable to tests and benchmarks.
+    The ``refactorizations``/``rank_updates``/``rank_downdates``
+    counters make the chosen path observable to tests and benchmarks.
     """
 
     def __init__(
@@ -181,6 +238,7 @@ class CachedCholesky:
         self._factor: np.ndarray | None = None
         self.refactorizations = 0
         self.rank_updates = 0
+        self.rank_downdates = 0
 
     @property
     def available(self) -> bool:
@@ -212,20 +270,53 @@ class CachedCholesky:
     def update_rows(self, rows: np.ndarray, history_rows: int = 0) -> bool:
         """Fold ``(k, m)`` new rows into the factor; False = refactorise.
 
+        Equivalent to :meth:`modify_rows` with no removed rows — kept as
+        the named entry point for the append-only (unbounded) stream.
+        """
+        return self.modify_rows(rows, None, history_rows=history_rows)
+
+    def downdate_rows(self, rows: np.ndarray, history_rows: int = 0) -> bool:
+        """Fold ``(k, m)`` expired rows out of the factor; False = refactorise.
+
+        Equivalent to :meth:`modify_rows` with no added rows.
+        """
+        return self.modify_rows(None, rows, history_rows=history_rows)
+
+    def modify_rows(
+        self,
+        added: np.ndarray | None,
+        removed: np.ndarray | None,
+        history_rows: int = 0,
+    ) -> bool:
+        """Fold an update+downdate pair into the factor; False = refactorise.
+
+        ``added`` are the refit's new constraint rows, ``removed`` the
+        rows a sliding training window just evicted (either may be None
+        or empty).  The pair is priced as one decision — ``k = k_in +
+        k_out`` rank-1 sweeps against one refactorisation — because the
+        caller either keeps the cached factor consistent with the whole
+        window move or rebuilds it once; updates apply before downdates
+        so the intermediate matrix stays maximal (downdating first could
+        lose positive definiteness transiently even when the final
+        matrix is SPD).
+
         ``history_rows`` is the number of rows the caller would have to
-        re-aggregate (one ``O(history_rows·m²)`` gemm) if this update is
-        declined; it raises the refactorisation's priced cost so long
-        streams favour the rank-k update.
+        re-aggregate (one ``O(history_rows·m²)`` gemm) if this
+        modification is declined; it raises the refactorisation's priced
+        cost so long streams/windows favour the rank-k path.
 
         On False the cached factor is unchanged if the decline was a cost
-        or condition decision, and invalidated if the sweep broke down.
+        or condition decision, and invalidated if a sweep broke down —
+        including a downdate's positive-definiteness guard firing.
         """
         if self._factor is None:
             return False
-        update = np.atleast_2d(np.asarray(rows, dtype=float))
-        k, m = update.shape
-        if m != self._factor.shape[0]:
+        m = self._factor.shape[0]
+        update = self._as_rows(added, m)
+        downdate = self._as_rows(removed, m)
+        if update is None or downdate is None:
             return False
+        k = update.shape[0] + downdate.shape[0]
         if k == 0:
             return True
         # Cost crossover (see class docstring): k·m Python-level sweep
@@ -235,18 +326,38 @@ class CachedCholesky:
         if k * self._update_cost_ratio > m * m / 3 + history_rows * m:
             return False
         try:
-            updated = cholesky_update(self._factor, update)
+            modified = self._factor
+            if update.shape[0]:
+                modified = cholesky_update(modified, update)
+            if downdate.shape[0]:
+                modified = cholesky_downdate(modified, downdate)
         except SolverError:
             self._factor = None
             return False
-        diagonal = np.diag(updated)
+        diagonal = np.diag(modified)
         smallest = float(diagonal.min())
         largest = float(diagonal.max())
         if smallest <= 0.0 or (largest / smallest) ** 2 > self._condition_limit:
             return False
-        self._factor = updated
-        self.rank_updates += 1
+        self._factor = modified
+        if update.shape[0]:
+            self.rank_updates += 1
+        if downdate.shape[0]:
+            self.rank_downdates += 1
         return True
+
+    @staticmethod
+    def _as_rows(rows: np.ndarray | None, m: int) -> np.ndarray | None:
+        """Normalise an optional row block; None = shape mismatch (decline)."""
+        if rows is None:
+            return np.zeros((0, m))
+        block = np.asarray(rows, dtype=float)
+        if block.size == 0:
+            return np.zeros((0, m))
+        block = np.atleast_2d(block)
+        if block.shape[1] != m:
+            return None
+        return block
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve against the cached factor."""

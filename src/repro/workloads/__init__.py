@@ -9,9 +9,19 @@
 * :mod:`repro.workloads.queries` — conjunctive range-predicate generators
   (random, sliding, fixed, and per-dataset templates).
 * :mod:`repro.workloads.shifts` — the data-drift scenario of Figure 5.
+* :mod:`repro.workloads.drift` — seeded drift-scenario generators
+  (abrupt shift, gradual rotation, recurring/seasonal mix) for
+  streaming-window training tests and benchmarks.
 """
 
 from repro.workloads.dmv import DMV_SCHEMA, DMVDataset, dmv_dataset, dmv_table
+from repro.workloads.drift import (
+    AbruptShiftStream,
+    DriftRegime,
+    DriftStream,
+    RotatingDriftStream,
+    SeasonalDriftStream,
+)
 from repro.workloads.instacart import (
     INSTACART_SCHEMA,
     InstacartDataset,
@@ -53,4 +63,9 @@ __all__ = [
     "labelled_feedback",
     "CorrelationDriftScenario",
     "DriftPhase",
+    "DriftRegime",
+    "DriftStream",
+    "AbruptShiftStream",
+    "RotatingDriftStream",
+    "SeasonalDriftStream",
 ]

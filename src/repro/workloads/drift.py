@@ -1,0 +1,380 @@
+"""Seeded drift-scenario generators for streaming-window training.
+
+:mod:`repro.workloads.shifts` reproduces the paper's Figure 5 schedule
+(correlation creeping up between query batches).  The streaming-window
+work needs more shapes of drift than that — and needs every test and
+benchmark to draw the *same* deterministic stream — so this module
+provides one small family of scenario generators built on the existing
+workload API (:class:`~repro.workloads.queries.RandomRangeQueryGenerator`
+predicates, exact selectivities against a generated dataset):
+
+* :class:`AbruptShiftStream` — the data distribution jumps from one
+  :class:`DriftRegime` to another at a known query index (the recovery
+  benchmark's scenario: how fast does the estimator's error come back
+  down after the jump?),
+* :class:`RotatingDriftStream` — gradual drift: the distribution's mean
+  rotates around the domain centre over the stream, so the model is
+  never exactly right and must keep tracking,
+* :class:`SeasonalDriftStream` — recurring drift: the stream cycles
+  through a fixed set of regimes (day/night, weekday/weekend), the
+  scenario where forgetting *too* fast hurts.
+
+Every stream is fully determined by its constructor arguments: one base
+standard-normal sample (drawn once from ``seed``) is re-shaped per
+regime by a mean/correlation/scale transform, so two instances with the
+same parameters label identical predicates with identical
+selectivities.  The query stream itself is stationary (random range
+predicates over the whole domain); what drifts is the *data* — and
+therefore the true selectivities the engine feeds back, which is
+exactly what a served estimator observes under distribution drift.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.geometry import Hyperrectangle
+from repro.core.predicate import BoxPredicate
+from repro.exceptions import WorkloadError
+from repro.workloads.queries import RandomRangeQueryGenerator
+from repro.workloads.synthetic import correlation_matrix
+
+__all__ = [
+    "DriftRegime",
+    "DriftStream",
+    "AbruptShiftStream",
+    "RotatingDriftStream",
+    "SeasonalDriftStream",
+]
+
+
+@dataclass(frozen=True)
+class DriftRegime:
+    """One data distribution the stream can be in.
+
+    Attributes:
+        mean: per-dimension mean of the (clipped) Gaussian data, inside
+            the unit cube.
+        correlation: pairwise correlation between every pair of columns.
+        scale: common per-column standard deviation.
+    """
+
+    mean: tuple[float, ...]
+    correlation: float = 0.0
+    scale: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.mean:
+            raise WorkloadError("regime mean must have at least one dimension")
+        if any(not (0.0 <= m <= 1.0) for m in self.mean):
+            raise WorkloadError("regime means must lie in the unit cube")
+        if self.scale <= 0:
+            raise WorkloadError("regime scale must be positive")
+        # correlation validity is checked by correlation_matrix at use.
+
+
+class DriftStream:
+    """Base class: a deterministic labelled feedback stream under drift.
+
+    Subclasses define :meth:`regime_at` — which :class:`DriftRegime`
+    governs the data when query ``index`` executes.  The base class owns
+    the shared machinery: one base noise sample reused by every regime
+    (so regimes differ only by their parameters, not by sampling
+    variance), a seeded query generator, per-regime dataset caching, and
+    the probe helper tests/benchmarks use to measure estimation error
+    against the distribution *currently* in effect.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 2,
+        rows: int = 20_000,
+        min_width: float = 0.15,
+        max_width: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if dimension < 1:
+            raise WorkloadError("dimension must be >= 1")
+        if rows < 1:
+            raise WorkloadError("rows must be >= 1")
+        self._dimension = dimension
+        self._domain = Hyperrectangle.unit(dimension)
+        self._seed = seed
+        base_rng = np.random.default_rng(seed)
+        # One standard-normal sample shared by every regime: a regime's
+        # dataset is a deterministic reshape of this, so the only thing
+        # that changes across a shift is the distribution itself.
+        self._base = base_rng.standard_normal((rows, dimension))
+        self._generator = RandomRangeQueryGenerator(
+            self._domain, min_width=min_width, max_width=max_width, seed=seed + 1
+        )
+        self._probe_widths = (min_width, max_width)
+        self._position = 0
+        self._datasets: dict[DriftRegime, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # The drift schedule (subclass responsibility)
+    # ------------------------------------------------------------------
+    def regime_at(self, index: int) -> DriftRegime:
+        """The data regime in effect when query ``index`` executes."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> Hyperrectangle:
+        """The unit-cube domain every predicate and regime lives in."""
+        return self._domain
+
+    @property
+    def dimension(self) -> int:
+        """Number of data columns."""
+        return self._dimension
+
+    @property
+    def position(self) -> int:
+        """Absolute index of the next query :meth:`labelled` will yield."""
+        return self._position
+
+    def rows_for(self, regime: DriftRegime) -> np.ndarray:
+        """The regime's dataset (cached): reshape the base noise sample."""
+        if len(regime.mean) != self._dimension:
+            raise WorkloadError(
+                f"regime mean has {len(regime.mean)} dimensions; "
+                f"stream has {self._dimension}"
+            )
+        cached = self._datasets.get(regime)
+        if cached is None:
+            covariance = (
+                correlation_matrix(self._dimension, regime.correlation)
+                * regime.scale**2
+            )
+            transform = np.linalg.cholesky(covariance)
+            rows = np.asarray(regime.mean) + self._base @ transform.T
+            cached = np.clip(rows, 0.0, 1.0)
+            self._datasets[regime] = cached
+        return cached
+
+    def labelled(self, count: int) -> list[tuple[BoxPredicate, float]]:
+        """The next ``count`` feedback pairs, advancing the stream.
+
+        Each predicate is labelled with its exact selectivity under the
+        regime in effect at its own absolute index, so a shift landing
+        inside the batch is honoured mid-batch.
+        """
+        if count < 0:
+            raise WorkloadError("count must be non-negative")
+        predicates = self._generator.generate(count)
+        feedback = []
+        for offset, predicate in enumerate(predicates):
+            regime = self.regime_at(self._position + offset)
+            feedback.append(
+                (predicate, predicate.selectivity(self.rows_for(regime)))
+            )
+        self._position += count
+        return feedback
+
+    def truth(
+        self, predicates: Sequence[BoxPredicate], index: int | None = None
+    ) -> np.ndarray:
+        """Exact selectivities under the regime at ``index``.
+
+        ``index`` defaults to the stream's current position — "what is
+        true right now" — which is what error measurement against a
+        served model wants.
+        """
+        regime = self.regime_at(self._position if index is None else index)
+        rows = self.rows_for(regime)
+        return np.array([predicate.selectivity(rows) for predicate in predicates])
+
+    def probes(
+        self, count: int, index: int | None = None, seed_offset: int = 2
+    ) -> list[tuple[BoxPredicate, float]]:
+        """Held-out labelled probes under the regime at ``index``.
+
+        Drawn from a generator seeded independently of the feedback
+        stream (same width distribution), so evaluating on probes never
+        perturbs — and is never memorised from — the training stream.
+        Deterministic for a given ``(stream seed, seed_offset)``.
+        """
+        if count < 0:
+            raise WorkloadError("count must be non-negative")
+        generator = RandomRangeQueryGenerator(
+            self._domain,
+            min_width=self._probe_widths[0],
+            max_width=self._probe_widths[1],
+            seed=self._seed + seed_offset,
+        )
+        predicates = generator.generate(count)
+        return list(zip(predicates, self.truth(predicates, index=index)))
+
+
+class AbruptShiftStream(DriftStream):
+    """The distribution jumps from ``before`` to ``after`` at ``shift_at``."""
+
+    def __init__(
+        self,
+        shift_at: int,
+        before: DriftRegime | None = None,
+        after: DriftRegime | None = None,
+        dimension: int = 2,
+        rows: int = 20_000,
+        min_width: float = 0.15,
+        max_width: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            dimension=dimension,
+            rows=rows,
+            min_width=min_width,
+            max_width=max_width,
+            seed=seed,
+        )
+        if shift_at < 1:
+            raise WorkloadError("shift_at must be >= 1")
+        self._shift_at = shift_at
+        self._before = before or DriftRegime(
+            mean=(0.3,) * dimension, correlation=0.4
+        )
+        self._after = after or DriftRegime(
+            mean=(0.7,) * dimension, correlation=-0.2
+        )
+        if self._before == self._after:
+            raise WorkloadError("before and after regimes must differ")
+
+    @property
+    def shift_at(self) -> int:
+        """Absolute query index of the jump."""
+        return self._shift_at
+
+    def regime_at(self, index: int) -> DriftRegime:
+        return self._before if index < self._shift_at else self._after
+
+
+class RotatingDriftStream(DriftStream):
+    """Gradual drift: the data mean rotates around the domain centre.
+
+    Query ``i`` sees a mean at angle ``2π·i/period`` on a circle of
+    ``radius`` around the centre (dimensions past the first two stay at
+    the centre).  ``granularity`` quantises the angle so the stream
+    passes through ``period / granularity`` distinct regimes per lap —
+    bounding the dataset cache while keeping the drift effectively
+    continuous.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        radius: float = 0.25,
+        granularity: int = 16,
+        correlation: float = 0.0,
+        scale: float = 0.2,
+        dimension: int = 2,
+        rows: int = 20_000,
+        min_width: float = 0.15,
+        max_width: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            dimension=dimension,
+            rows=rows,
+            min_width=min_width,
+            max_width=max_width,
+            seed=seed,
+        )
+        if dimension < 2:
+            raise WorkloadError("rotation needs at least 2 dimensions")
+        if period < 2:
+            raise WorkloadError("period must be >= 2")
+        if not (0.0 < radius <= 0.5):
+            raise WorkloadError("radius must be in (0, 0.5]")
+        if granularity < 1 or granularity > period:
+            raise WorkloadError("granularity must be in [1, period]")
+        self._period = period
+        self._radius = radius
+        self._granularity = granularity
+        self._correlation = correlation
+        self._scale = scale
+
+    @property
+    def period(self) -> int:
+        """Queries per full rotation."""
+        return self._period
+
+    def regime_at(self, index: int) -> DriftRegime:
+        if index < 0:
+            raise WorkloadError("index must be non-negative")
+        # Quantise the *wrapped* index: laps then repeat exactly even
+        # when granularity does not divide period, and the number of
+        # distinct regimes (= cached datasets) stays ceil(period/gran).
+        wrapped = index % self._period
+        step = wrapped - wrapped % self._granularity
+        angle = 2.0 * math.pi * step / self._period
+        mean = [0.5] * self._dimension
+        mean[0] = 0.5 + self._radius * math.cos(angle)
+        mean[1] = 0.5 + self._radius * math.sin(angle)
+        return DriftRegime(
+            mean=tuple(mean),
+            correlation=self._correlation,
+            scale=self._scale,
+        )
+
+
+class SeasonalDriftStream(DriftStream):
+    """Recurring drift: the stream cycles through fixed regimes.
+
+    Queries ``[k·season_length, (k+1)·season_length)`` all see regime
+    ``k mod len(regimes)`` — the day/night pattern where a model that
+    forgets the previous season entirely keeps paying the re-learning
+    cost every cycle.
+    """
+
+    def __init__(
+        self,
+        regimes: Sequence[DriftRegime] | None = None,
+        season_length: int = 200,
+        dimension: int = 2,
+        rows: int = 20_000,
+        min_width: float = 0.15,
+        max_width: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            dimension=dimension,
+            rows=rows,
+            min_width=min_width,
+            max_width=max_width,
+            seed=seed,
+        )
+        if regimes is None:
+            regimes = (
+                DriftRegime(mean=(0.3,) * dimension, correlation=0.5),
+                DriftRegime(mean=(0.7,) * dimension, correlation=0.0),
+            )
+        regimes = tuple(regimes)
+        if len(regimes) < 2:
+            raise WorkloadError("seasonal drift needs at least 2 regimes")
+        if season_length < 1:
+            raise WorkloadError("season_length must be >= 1")
+        self._regimes = regimes
+        self._season_length = season_length
+
+    @property
+    def regimes(self) -> tuple[DriftRegime, ...]:
+        """The recurring regimes, in cycle order."""
+        return self._regimes
+
+    @property
+    def season_length(self) -> int:
+        """Queries per season before the next regime takes over."""
+        return self._season_length
+
+    def regime_at(self, index: int) -> DriftRegime:
+        if index < 0:
+            raise WorkloadError("index must be non-negative")
+        return self._regimes[(index // self._season_length) % len(self._regimes)]

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 import pytest
 
+from repro.cluster import ShardedSelectivityService
 from repro.core.geometry import Hyperrectangle
 from repro.core.predicate import box_predicate
+from repro.serving import RefitScheduler, SelectivityService
 from repro.workloads.synthetic import gaussian_dataset
 
 
@@ -32,6 +36,65 @@ def rng() -> np.random.Generator:
 def gaussian_rows() -> np.ndarray:
     """A small correlated Gaussian dataset on the unit square."""
     return gaussian_dataset(5000, dimension=2, correlation=0.5, seed=7).rows
+
+
+@pytest.fixture
+def make_service():
+    """Factory for a :class:`SelectivityService` with an inline scheduler.
+
+    The construction helper previously copy-pasted across the serving,
+    cluster, and backend test modules: tests want deterministic refits
+    (inline unless they say otherwise), everything else per-test.
+    Services created here are closed at teardown so a shared registry or
+    scheduler never outlives the test that built it.
+    """
+    services: list[SelectivityService] = []
+
+    def make(**kwargs) -> SelectivityService:
+        kwargs.setdefault("scheduler", RefitScheduler("inline"))
+        service = SelectivityService(**kwargs)
+        services.append(service)
+        return service
+
+    yield make
+    for service in services:
+        try:
+            service.close()
+        except Exception:
+            pass  # a test may have closed (or broken) it already
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory for a :class:`ShardedSelectivityService` (inline refits)."""
+    clusters: list[ShardedSelectivityService] = []
+
+    def make(num_shards: int, **kwargs) -> ShardedSelectivityService:
+        kwargs.setdefault("scheduler_mode", "inline")
+        cluster = ShardedSelectivityService(num_shards=num_shards, **kwargs)
+        clusters.append(cluster)
+        return cluster
+
+    yield make
+    for cluster in clusters:
+        try:
+            if not cluster.closed:
+                cluster.close()
+        except Exception:
+            pass
+
+
+@pytest.fixture
+def register_tables():
+    """Register deep copies of a trained backend under many table names."""
+
+    def register(service, base, tables):
+        return [
+            service.register_model(table, copy.deepcopy(base))
+            for table in tables
+        ]
+
+    return register
 
 
 @pytest.fixture

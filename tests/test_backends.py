@@ -65,11 +65,6 @@ def world():
     return dataset, feedback, probes
 
 
-def make_service(**kwargs) -> SelectivityService:
-    kwargs.setdefault("scheduler", RefitScheduler("inline"))
-    return SelectivityService(**kwargs)
-
-
 def query_driven_estimators(domain):
     return {
         "stholes": lambda: STHoles(domain, max_buckets=300),
@@ -290,7 +285,7 @@ class TestVectorisedBatches:
 # Served parity: every backend through the service == the bare estimator
 # ----------------------------------------------------------------------
 class TestServedParity:
-    def _assert_served_matches_bare(self, bare, backend, probes):
+    def _assert_served_matches_bare(self, make_service, bare, backend, probes):
         service = make_service()
         key = service.register_model("t", backend)
         served_scalar = np.array([service.estimate(key, p) for p in probes])
@@ -300,7 +295,7 @@ class TestServedParity:
         assert np.abs(served_batch - bare_scalar).max() <= PARITY
         service.close()
 
-    def test_query_driven_backends(self, world):
+    def test_query_driven_backends(self, world, make_service):
         dataset, feedback, probes = world
         for make in query_driven_estimators(dataset.domain).values():
             bare = make()
@@ -309,26 +304,26 @@ class TestServedParity:
             twin = make()
             backend = QueryDrivenBackend(twin)
             backend.observe_many(feedback[:20])
-            self._assert_served_matches_bare(bare, backend, probes)
+            self._assert_served_matches_bare(make_service, bare, backend, probes)
 
-    def test_scan_based_backends(self, world):
+    def test_scan_based_backends(self, world, make_service):
         dataset, _, probes = world
         for make in scan_based_estimators(dataset.domain, dataset.rows).values():
             bare = make()
             bare.refresh()
             twin = make()
             twin.refresh()
-            self._assert_served_matches_bare(bare, twin, probes)
+            self._assert_served_matches_bare(make_service, bare, twin, probes)
 
-    def test_quicksel_backend(self, world):
+    def test_quicksel_backend(self, world, make_service):
         dataset, feedback, probes = world
         bare = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
         bare.observe_many(feedback[:40], refit=True)
         twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
         twin.observe_many(feedback[:40], refit=True)
-        self._assert_served_matches_bare(bare, twin, probes)
+        self._assert_served_matches_bare(make_service, bare, twin, probes)
 
-    def test_served_feedback_loop_matches_bare(self, world):
+    def test_served_feedback_loop_matches_bare(self, world, make_service):
         """Feeding through service.observe == feeding the bare estimator."""
         dataset, feedback, probes = world
         bare = STHoles(dataset.domain, max_buckets=300)
@@ -343,7 +338,7 @@ class TestServedParity:
         assert np.abs(served - expected).max() <= PARITY
         service.close()
 
-    def test_bare_estimators_are_wrapped_on_registration(self, world):
+    def test_bare_estimators_are_wrapped_on_registration(self, world, make_service):
         dataset, feedback, _ = world
         service = make_service()
         key = service.register_model("t", STHoles(dataset.domain))
@@ -352,7 +347,7 @@ class TestServedParity:
         assert isinstance(backend, QueryDrivenBackend)
         service.close()
 
-    def test_hand_off_republishes_the_exact_snapshot(self, world):
+    def test_hand_off_republishes_the_exact_snapshot(self, world, make_service):
         dataset, feedback, probes = world
         backend = QueryDrivenBackend(STHoles(dataset.domain, max_buckets=300))
         backend.observe_many(feedback[:20])
@@ -405,7 +400,7 @@ class TestCacheTTL:
         with pytest.raises(ServingError):
             EstimateCache(ttl_seconds=-1.0)
 
-    def test_service_serves_correctly_with_ttl(self, world):
+    def test_service_serves_correctly_with_ttl(self, world, make_service):
         dataset, feedback, probes = world
         trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
         trainer.observe_many(feedback[:30], refit=True)
@@ -422,7 +417,7 @@ class TestCacheTTL:
 # Champion/challenger A/B serving
 # ----------------------------------------------------------------------
 class TestChampionChallenger:
-    def _ab_service(self, world, shadow_frac=1.0, min_new=16):
+    def _ab_service(self, make_service, world, shadow_frac=1.0, min_new=16):
         dataset, feedback, _ = world
         service = make_service(
             policy=RefitPolicy(min_new_observations=min_new)
@@ -435,23 +430,23 @@ class TestChampionChallenger:
         )
         return service, key
 
-    def test_requires_a_served_champion(self, world):
+    def test_requires_a_served_champion(self, world, make_service):
         dataset, _, _ = world
         service = make_service()
         with pytest.raises(ServingError, match="unserved key"):
             service.register_challenger("t", STHoles(dataset.domain))
         service.close()
 
-    def test_one_challenger_per_key(self, world):
+    def test_one_challenger_per_key(self, world, make_service):
         dataset, _, _ = world
-        service, key = self._ab_service(world)
+        service, key = self._ab_service(make_service, world)
         with pytest.raises(ServingError, match="already has"):
             service.register_challenger(key, QueryModel(dataset.domain))
         service.close()
 
-    def test_feedback_is_mirrored_and_both_publish(self, world):
+    def test_feedback_is_mirrored_and_both_publish(self, world, make_service):
         dataset, feedback, probes = world
-        service, key = self._ab_service(world)
+        service, key = self._ab_service(make_service, world)
         for predicate, selectivity in feedback[:48]:
             service.observe(key, predicate, selectivity)
         assert service.snapshot_for(key).version >= 1
@@ -466,16 +461,16 @@ class TestChampionChallenger:
         assert all(error >= 0.0 for error in errors.values())
         service.close()
 
-    def test_shadow_frac_mirrors_a_deterministic_fraction(self, world):
+    def test_shadow_frac_mirrors_a_deterministic_fraction(self, world, make_service):
         dataset, feedback, _ = world
-        service, key = self._ab_service(world, shadow_frac=0.25, min_new=1000)
+        service, key = self._ab_service(make_service, world, shadow_frac=0.25, min_new=1000)
         for predicate, selectivity in feedback[:40]:
             service.observe(key, predicate, selectivity)
         assert service.stats.observations == 40
         assert service.stats.challenger_observations == 10  # floor-stride
         service.close()
 
-    def test_same_backend_type_ab_keeps_windows_apart(self, world):
+    def test_same_backend_type_ab_keeps_windows_apart(self, world, make_service):
         """QuickSel-vs-QuickSel A/B still yields two distinct windows."""
         dataset, feedback, _ = world
         service = make_service(policy=RefitPolicy(min_new_observations=16))
@@ -491,13 +486,13 @@ class TestChampionChallenger:
         assert set(errors) == {"QuickSel", "QuickSel@challenger"}
         service.close()
 
-    def test_champion_reads_unaffected_by_challenger(self, world):
+    def test_champion_reads_unaffected_by_challenger(self, world, make_service):
         dataset, feedback, probes = world
         solo = make_service(policy=RefitPolicy(min_new_observations=16))
         solo_key = solo.register_model(
             "t", QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
         )
-        service, key = self._ab_service(world)
+        service, key = self._ab_service(make_service, world)
         for predicate, selectivity in feedback[:48]:
             solo.observe(solo_key, predicate, selectivity)
             service.observe(key, predicate, selectivity)
@@ -510,9 +505,9 @@ class TestChampionChallenger:
         solo.close()
         service.close()
 
-    def test_promote_swaps_atomically(self, world):
+    def test_promote_swaps_atomically(self, world, make_service):
         dataset, feedback, probes = world
-        service, key = self._ab_service(world)
+        service, key = self._ab_service(make_service, world)
         for predicate, selectivity in feedback[:48]:
             service.observe(key, predicate, selectivity)
         champion_version = service.snapshot_for(key).version
@@ -535,7 +530,7 @@ class TestChampionChallenger:
         assert service.feedback_count(key) >= 49
         service.close()
 
-    def test_promote_untrained_challenger_refused(self, world):
+    def test_promote_untrained_challenger_refused(self, world, make_service):
         dataset, _, _ = world
         service = make_service(policy=RefitPolicy(min_new_observations=1000))
         key = service.register_model(
@@ -546,8 +541,8 @@ class TestChampionChallenger:
             service.promote(key)
         service.close()
 
-    def test_unregister_champion_refused_while_challenger_lives(self, world):
-        service, key = self._ab_service(world)
+    def test_unregister_champion_refused_while_challenger_lives(self, world, make_service):
+        service, key = self._ab_service(make_service, world)
         with pytest.raises(ServingError, match="challenger"):
             service.unregister_model(key)
         backend = service.unregister_challenger(key)
@@ -555,9 +550,9 @@ class TestChampionChallenger:
         service.unregister_model(key)  # now fine
         service.close()
 
-    def test_unregister_challenger_carries_mirrored_feedback(self, world):
+    def test_unregister_challenger_carries_mirrored_feedback(self, world, make_service):
         dataset, feedback, _ = world
-        service, key = self._ab_service(world, min_new=1000)
+        service, key = self._ab_service(make_service, world, min_new=1000)
         for predicate, selectivity in feedback[:12]:
             service.observe(key, predicate, selectivity)
         backend = service.unregister_challenger(key)

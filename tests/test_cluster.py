@@ -78,17 +78,6 @@ def cluster_world():
     return dataset, base, probes, feedback
 
 
-def make_cluster(num_shards: int, **kwargs) -> ShardedSelectivityService:
-    kwargs.setdefault("scheduler_mode", "inline")
-    return ShardedSelectivityService(num_shards=num_shards, **kwargs)
-
-
-def register_tables(service, base: QuickSel, tables=TABLES) -> list[ModelKey]:
-    return [
-        service.register_model(table, copy.deepcopy(base)) for table in tables
-    ]
-
-
 # ----------------------------------------------------------------------
 # Routing
 # ----------------------------------------------------------------------
@@ -303,13 +292,12 @@ class TestObservationBuffer:
 class TestShardedServingParity:
     @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
     def test_scalar_and_mixed_batch_match_plain_service(
-        self, cluster_world, num_shards
-    ):
+        self, cluster_world, num_shards, make_cluster, register_tables):
         dataset, base, probes, _ = cluster_world
         plain = SelectivityService(scheduler=RefitScheduler("inline"))
-        register_tables(plain, base)
+        register_tables(plain, base, TABLES)
         cluster = make_cluster(num_shards)
-        register_tables(cluster, base)
+        register_tables(cluster, base, TABLES)
         try:
             pairs = [
                 (TABLES[index % len(TABLES)], predicate)
@@ -332,11 +320,11 @@ class TestShardedServingParity:
             cluster.close()
             plain.close()
 
-    def test_mixed_batch_preserves_input_order(self, cluster_world, rng):
+    def test_mixed_batch_preserves_input_order(self, cluster_world, rng, make_cluster, register_tables):
         """Shuffled interleavings of keys must come back positionally."""
         dataset, base, probes, _ = cluster_world
         cluster = make_cluster(4)
-        register_tables(cluster, base)
+        register_tables(cluster, base, TABLES)
         try:
             pairs = [
                 (TABLES[index % len(TABLES)], predicate)
@@ -352,12 +340,12 @@ class TestShardedServingParity:
         finally:
             cluster.close()
 
-    def test_sequential_fanout_matches_threaded(self, cluster_world):
+    def test_sequential_fanout_matches_threaded(self, cluster_world, make_cluster, register_tables):
         dataset, base, probes, _ = cluster_world
         threaded = make_cluster(4)
         sequential = make_cluster(4, fanout_threads=False)
-        register_tables(threaded, base)
-        register_tables(sequential, base)
+        register_tables(threaded, base, TABLES)
+        register_tables(sequential, base, TABLES)
         try:
             pairs = [
                 (TABLES[index % len(TABLES)], predicate)
@@ -373,7 +361,7 @@ class TestShardedServingParity:
             threaded.close()
             sequential.close()
 
-    def test_empty_mixed_batch(self, cluster_world):
+    def test_empty_mixed_batch(self, cluster_world, make_cluster):
         _, base, _, _ = cluster_world
         cluster = make_cluster(2)
         try:
@@ -381,7 +369,7 @@ class TestShardedServingParity:
         finally:
             cluster.close()
 
-    def test_duplicate_registration_rejected_cluster_wide(self, cluster_world):
+    def test_duplicate_registration_rejected_cluster_wide(self, cluster_world, make_cluster):
         dataset, base, _, _ = cluster_world
         cluster = make_cluster(4)
         try:
@@ -391,7 +379,7 @@ class TestShardedServingParity:
         finally:
             cluster.close()
 
-    def test_unknown_key_raises(self, cluster_world):
+    def test_unknown_key_raises(self, cluster_world, make_cluster):
         _, base, probes, _ = cluster_world
         cluster = make_cluster(2)
         try:
@@ -402,7 +390,7 @@ class TestShardedServingParity:
         finally:
             cluster.close()
 
-    def test_satisfies_serving_protocol(self, cluster_world):
+    def test_satisfies_serving_protocol(self, cluster_world, make_cluster):
         cluster = make_cluster(2)
         try:
             assert isinstance(cluster, SelectivityServing)
@@ -544,7 +532,7 @@ class TestNonBlockingObserve:
         finally:
             cluster.close()
 
-    def test_orphan_buffered_key_does_not_poison_flush(self, cluster_world):
+    def test_orphan_buffered_key_does_not_poison_flush(self, cluster_world, make_cluster):
         """Regression: an observation buffered for a key the shard no
         longer serves (observe raced a migration's final sweep) used to
         make every later flush/drain raise ServingError forever."""
@@ -568,7 +556,7 @@ class TestNonBlockingObserve:
         finally:
             cluster.close()
 
-    def test_buffered_feedback_reaches_policy(self, cluster_world):
+    def test_buffered_feedback_reaches_policy(self, cluster_world, make_cluster):
         """Buffered observations still drive count-triggered refits."""
         dataset, _, probes, feedback = cluster_world
         cluster = make_cluster(
@@ -591,10 +579,10 @@ class TestNonBlockingObserve:
 # Elastic membership
 # ----------------------------------------------------------------------
 class TestElasticMembership:
-    def test_add_shard_hands_off_snapshots_exactly(self, cluster_world):
+    def test_add_shard_hands_off_snapshots_exactly(self, cluster_world, make_cluster, register_tables):
         dataset, base, probes, feedback = cluster_world
         cluster = make_cluster(3)
-        register_tables(cluster, base)
+        register_tables(cluster, base, TABLES)
         try:
             pairs = [
                 (TABLES[index % len(TABLES)], predicate)
@@ -625,10 +613,10 @@ class TestElasticMembership:
         finally:
             cluster.close()
 
-    def test_remove_shard_rehomes_only_its_keys(self, cluster_world):
+    def test_remove_shard_rehomes_only_its_keys(self, cluster_world, make_cluster, register_tables):
         dataset, base, probes, _ = cluster_world
         cluster = make_cluster(4)
-        register_tables(cluster, base)
+        register_tables(cluster, base, TABLES)
         try:
             victim = cluster.shard_ids[0]
             victim_keys = set(cluster.shard(victim).model_keys())
@@ -655,7 +643,7 @@ class TestElasticMembership:
         finally:
             cluster.close()
 
-    def test_migration_carries_drift_window(self, cluster_world):
+    def test_migration_carries_drift_window(self, cluster_world, make_cluster, register_tables):
         """A key one bad query from a drift refit must stay that close
         after migrating — the error window moves with the trainer."""
         dataset, base, probes, _ = cluster_world
@@ -670,7 +658,7 @@ class TestElasticMembership:
                 min_drift_observations=4,
             ),
         )
-        register_tables(cluster, base)
+        register_tables(cluster, base, TABLES)
         try:
             for name in TABLES:
                 for predicate in probes[:5]:
@@ -697,7 +685,7 @@ class TestElasticMembership:
         finally:
             cluster.close()
 
-    def test_membership_errors(self, cluster_world):
+    def test_membership_errors(self, cluster_world, make_cluster):
         cluster = make_cluster(2)
         try:
             with pytest.raises(ClusterError):
@@ -710,10 +698,10 @@ class TestElasticMembership:
         finally:
             cluster.close()
 
-    def test_traffic_flows_after_resize(self, cluster_world):
+    def test_traffic_flows_after_resize(self, cluster_world, make_cluster, register_tables):
         dataset, base, probes, feedback = cluster_world
         cluster = make_cluster(2, policy=RefitPolicy(min_new_observations=4))
-        register_tables(cluster, base)
+        register_tables(cluster, base, TABLES)
         try:
             cluster.add_shard()
             for predicate, selectivity in feedback[40:46]:
@@ -725,7 +713,7 @@ class TestElasticMembership:
         finally:
             cluster.close()
 
-    def test_closed_cluster_rejects_membership_changes(self, cluster_world):
+    def test_closed_cluster_rejects_membership_changes(self, cluster_world, make_cluster):
         cluster = make_cluster(2)
         cluster.close()
         cluster.close()  # idempotent
@@ -737,10 +725,10 @@ class TestElasticMembership:
 # Fleet metrics
 # ----------------------------------------------------------------------
 class TestClusterStats:
-    def test_aggregate_sums_and_merged_percentiles(self, cluster_world):
+    def test_aggregate_sums_and_merged_percentiles(self, cluster_world, make_cluster, register_tables):
         dataset, base, probes, feedback = cluster_world
         cluster = make_cluster(4, policy=RefitPolicy(min_new_observations=4))
-        register_tables(cluster, base)
+        register_tables(cluster, base, TABLES)
         try:
             pairs = [
                 (TABLES[index % len(TABLES)], predicate)

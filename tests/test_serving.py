@@ -63,11 +63,6 @@ def trained_world():
     return dataset, feedback, trained
 
 
-def make_service(**kwargs) -> SelectivityService:
-    kwargs.setdefault("scheduler", RefitScheduler("inline"))
-    return SelectivityService(**kwargs)
-
-
 # ----------------------------------------------------------------------
 # Registry and snapshots
 # ----------------------------------------------------------------------
@@ -248,7 +243,7 @@ class TestEstimateCache:
         with pytest.raises(ServingError):
             EstimateCache(per_key_capacity=0)
 
-    def test_injected_empty_cache_is_not_discarded(self):
+    def test_injected_empty_cache_is_not_discarded(self, make_service):
         """Regression: an empty EstimateCache is falsy (it has __len__),
         so `cache or EstimateCache()` silently replaced an injected
         small cache with a default-capacity one."""
@@ -264,7 +259,7 @@ class TestEstimateCache:
         assert len(cache) == 6  # no per-key bound applies
         assert cache.entries_for("k") == 6
 
-    def test_cache_invalidation_on_hot_swap(self, trained_world):
+    def test_cache_invalidation_on_hot_swap(self, trained_world, make_service):
         """After a publish, estimates must come from the new version even
         though the old result was cached."""
         dataset, feedback, _ = trained_world
@@ -342,7 +337,7 @@ class TestBatchEquivalence:
         scalar = np.array([trained.estimate(p) for p in mixed])
         np.testing.assert_allclose(batched, scalar, atol=1e-9)
 
-    def test_service_batch_matches_direct_estimator(self, trained_world):
+    def test_service_batch_matches_direct_estimator(self, trained_world, make_service):
         dataset, feedback, trained = trained_world
         service = make_service()
         twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
@@ -357,7 +352,7 @@ class TestBatchEquivalence:
         np.testing.assert_array_equal(served, again)
         assert service.stats.cache_hits == len(probes)
 
-    def test_empty_batch(self, trained_world):
+    def test_empty_batch(self, trained_world, make_service):
         dataset, feedback, _ = trained_world
         service = make_service()
         twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
@@ -417,7 +412,7 @@ class TestRefitPolicy:
         assert service.stats.refits_completed >= 1
         assert not service.scheduler.failures
 
-    def test_drift_trigger_fires_before_count(self, trained_world):
+    def test_drift_trigger_fires_before_count(self, trained_world, make_service):
         dataset, feedback, _ = trained_world
         service = make_service(
             policy=RefitPolicy(
@@ -477,14 +472,14 @@ class TestRefitPolicy:
 # Service surface
 # ----------------------------------------------------------------------
 class TestSelectivityService:
-    def test_duplicate_registration_rejected(self, trained_world):
+    def test_duplicate_registration_rejected(self, trained_world, make_service):
         dataset, _, _ = trained_world
         service = make_service()
         service.register_model("t", QuickSel(dataset.domain))
         with pytest.raises(ServingError):
             service.register_model("t", QuickSel(dataset.domain))
 
-    def test_columns_scope_distinct_models(self, trained_world):
+    def test_columns_scope_distinct_models(self, trained_world, make_service):
         dataset, _, _ = trained_world
         service = make_service()
         key_all = service.register_model("t", QuickSel(dataset.domain))
@@ -494,7 +489,7 @@ class TestSelectivityService:
         assert key_all != key_xy
         assert set(service.model_keys()) == {key_all, key_xy}
 
-    def test_registration_absorbs_unfitted_backlog(self, trained_world):
+    def test_registration_absorbs_unfitted_backlog(self, trained_world, make_service):
         """A trainer registered with recorded-but-unfitted feedback must
         not serve uniform bootstrap estimates forever (regression)."""
         dataset, feedback, _ = trained_world
@@ -513,7 +508,7 @@ class TestSelectivityService:
             direct.estimate(probe), abs=1e-9
         )
 
-    def test_pretrained_model_served_immediately(self, trained_world):
+    def test_pretrained_model_served_immediately(self, trained_world, make_service):
         dataset, feedback, trained = trained_world
         service = make_service()
         twin = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
@@ -525,13 +520,13 @@ class TestSelectivityService:
             trained.estimate(probe), abs=1e-9
         )
 
-    def test_observe_before_register_raises(self, trained_world, unit_square):
+    def test_observe_before_register_raises(self, trained_world, unit_square, make_service):
         _, feedback, _ = trained_world
         service = make_service()
         with pytest.raises(ServingError):
             service.observe("ghost", feedback[0][0], 0.5)
 
-    def test_close_detaches_from_shared_registry(self, trained_world):
+    def test_close_detaches_from_shared_registry(self, trained_world, make_service):
         dataset, feedback, trained = trained_world
         registry = EstimatorRegistry()
         service = make_service(registry=registry)
@@ -545,7 +540,7 @@ class TestSelectivityService:
         registry.publish(key, trained.model, trained.observed_count)
         assert len(service.cache) == 1
 
-    def test_custom_predicate_subclass_served_uncached(self, trained_world):
+    def test_custom_predicate_subclass_served_uncached(self, trained_world, make_service):
         """User-defined predicates are estimable everywhere else, so the
         service must serve them (uncached) instead of rejecting them."""
         from repro.core.predicate import Predicate
@@ -586,7 +581,7 @@ class TestSelectivityService:
             second.observe(key, predicate, selectivity)  # must not raise
         assert second.snapshot_for(key).version >= 1
 
-    def test_stats_surface(self, trained_world):
+    def test_stats_surface(self, trained_world, make_service):
         dataset, feedback, _ = trained_world
         service = make_service(policy=RefitPolicy(min_new_observations=5))
         trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
@@ -638,7 +633,7 @@ class TestSchedulerLifecycle:
         with pytest.raises(ServingError):
             scheduler.submit("k", lambda: None)
 
-    def test_service_close_is_idempotent(self, trained_world):
+    def test_service_close_is_idempotent(self, trained_world, make_service):
         dataset, _, _ = trained_world
         service = make_service()
         service.register_model("t", QuickSel(dataset.domain))
@@ -653,7 +648,7 @@ class TestSchedulerLifecycle:
 # Hand-off surface (what the cluster builds on)
 # ----------------------------------------------------------------------
 class TestHandOffSurface:
-    def test_unregister_returns_trainer_and_forgets_key(self, trained_world):
+    def test_unregister_returns_trainer_and_forgets_key(self, trained_world, make_service):
         dataset, feedback, _ = trained_world
         service = make_service()
         trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
@@ -672,8 +667,7 @@ class TestHandOffSurface:
             service.unregister_model(key)
 
     def test_register_without_backlog_refit_serves_model_as_is(
-        self, trained_world
-    ):
+        self, trained_world, make_service):
         dataset, feedback, _ = trained_world
         trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
         trainer.observe_many(feedback[:40], refit=True)
@@ -691,7 +685,7 @@ class TestHandOffSurface:
         service.drain(timeout=30)
         assert service.snapshot_for(key).trained_on == 52
 
-    def test_apply_feedback_batches_under_one_lock(self, trained_world):
+    def test_apply_feedback_batches_under_one_lock(self, trained_world, make_service):
         dataset, feedback, _ = trained_world
         service = make_service(policy=RefitPolicy(min_new_observations=5))
         trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
@@ -709,8 +703,7 @@ class TestHandOffSurface:
         assert service.snapshot_for(key).version >= 1
 
     def test_apply_feedback_nonblocking_refuses_under_contention(
-        self, trained_world
-    ):
+        self, trained_world, make_service):
         dataset, feedback, _ = trained_world
         service = make_service()
         trainer = QuickSel(dataset.domain, QuickSelConfig(random_seed=0))
@@ -738,8 +731,7 @@ class TestHandOffSurface:
         assert service.feedback_count(key) == 0
 
     def test_estimate_batch_mixed_matches_per_key_batches(
-        self, trained_world
-    ):
+        self, trained_world, make_service):
         dataset, feedback, trained = trained_world
         service = make_service()
         for name in ("a", "b", "c"):
@@ -783,7 +775,7 @@ class TestEngineWiring:
         )
         return builder.query("events", predicate)
 
-    def test_feedback_loop_routes_to_service(self, engine_world):
+    def test_feedback_loop_routes_to_service(self, engine_world, make_service):
         rng, schema, table, executor, catalog, loop = engine_world
         service = make_service(policy=RefitPolicy(min_new_observations=8))
         trainer = QuickSel(table.domain(), QuickSelConfig(random_seed=0))
@@ -802,15 +794,13 @@ class TestEngineWiring:
         assert catalog.feedback_count("events") == 16
 
     def test_register_service_requires_known_key_without_trainer(
-        self, engine_world
-    ):
+        self, engine_world, make_service):
         *_, loop = engine_world
         with pytest.raises(ServingError):
             loop.register_service("events", make_service())
 
     def test_register_service_rejects_snapshot_without_owned_trainer(
-        self, engine_world, unit_square
-    ):
+        self, engine_world, unit_square, make_service):
         """A snapshot living in a shared registry is not enough: feedback
         needs this service to own the trainer."""
         *_, loop = engine_world
@@ -819,7 +809,7 @@ class TestEngineWiring:
         with pytest.raises(ServingError, match="owns no trainer"):
             loop.register_service("events", service)
 
-    def test_optimizer_plans_through_served_snapshot(self, engine_world):
+    def test_optimizer_plans_through_served_snapshot(self, engine_world, make_service):
         rng, schema, table, executor, catalog, loop = engine_world
         service = make_service(policy=RefitPolicy(min_new_observations=8))
         trainer = QuickSel(table.domain(), QuickSelConfig(random_seed=0))

@@ -18,6 +18,12 @@ from repro.workloads.queries import (
     labelled_feedback,
     select_with_min_selectivity,
 )
+from repro.workloads.drift import (
+    AbruptShiftStream,
+    DriftRegime,
+    RotatingDriftStream,
+    SeasonalDriftStream,
+)
 from repro.workloads.shifts import CorrelationDriftScenario
 from repro.workloads.synthetic import correlation_matrix, gaussian_dataset
 
@@ -195,3 +201,108 @@ class TestDriftScenario:
             CorrelationDriftScenario(queries_per_phase=0)
         with pytest.raises(WorkloadError):
             CorrelationDriftScenario(correlation_step=2.0)
+
+
+class TestDriftStreams:
+    ROWS = 4_000  # small datasets keep labelling fast
+
+    def test_streams_are_deterministic(self):
+        def stream():
+            return AbruptShiftStream(shift_at=40, rows=self.ROWS, seed=9)
+
+        first, second = stream().labelled(60), stream().labelled(60)
+        domain = stream().domain
+        for (pa, sa), (pb, sb) in zip(first, second):
+            assert sa == sb
+            np.testing.assert_array_equal(
+                pa.to_box(domain).as_array(), pb.to_box(domain).as_array()
+            )
+
+    def test_labels_stay_valid_selectivities(self):
+        stream = SeasonalDriftStream(season_length=25, rows=self.ROWS, seed=3)
+        feedback = stream.labelled(75)
+        assert len(feedback) == 75
+        assert stream.position == 75
+        for predicate, selectivity in feedback:
+            assert 0.0 <= selectivity <= 1.0
+            assert stream.domain.contains_box(predicate.to_box(stream.domain))
+
+    def test_abrupt_shift_changes_the_truth(self):
+        stream = AbruptShiftStream(shift_at=50, rows=self.ROWS, seed=1)
+        pre = stream.probes(40, index=0)
+        post = stream.probes(40, index=50)
+        # Same held-out predicates (same probe seed), different labels.
+        gap = float(np.mean([abs(a[1] - b[1]) for a, b in zip(pre, post)]))
+        assert gap > 0.05
+        # The shift lands mid-batch at the advertised index.
+        assert stream.regime_at(49) != stream.regime_at(50)
+        assert stream.regime_at(0) == stream.regime_at(49)
+
+    def test_probes_are_held_out_from_the_stream(self):
+        stream = AbruptShiftStream(shift_at=50, rows=self.ROWS, seed=1)
+        trained = {
+            tuple(p.to_box(stream.domain).as_array().ravel())
+            for p, _ in stream.labelled(40)
+        }
+        probed = {
+            tuple(p.to_box(stream.domain).as_array().ravel())
+            for p, _ in stream.probes(40)
+        }
+        assert not trained & probed
+
+    def test_rotation_is_periodic_and_moves(self):
+        stream = RotatingDriftStream(period=80, granularity=8, rows=self.ROWS, seed=2)
+        assert stream.regime_at(0) == stream.regime_at(80)
+        assert stream.regime_at(0) != stream.regime_at(40)
+        # Quantised but gradually moving means.
+        means = [stream.regime_at(i).mean for i in range(0, 80, 8)]
+        assert len(set(means)) == 10
+
+    def test_rotation_period_need_not_divide_by_granularity(self):
+        """Regression: laps must repeat exactly (and the regime cache stay
+        at ceil(period/granularity)) when granularity ∤ period."""
+        stream = RotatingDriftStream(
+            period=70, granularity=16, rows=self.ROWS, seed=2
+        )
+        for index in range(0, 140):
+            assert stream.regime_at(index) == stream.regime_at(index + 70)
+        distinct = {stream.regime_at(i) for i in range(140)}
+        assert len(distinct) == 5  # ceil(70 / 16)
+
+    def test_seasonal_cycle_repeats_labels(self):
+        stream = SeasonalDriftStream(season_length=30, rows=self.ROWS, seed=4)
+        probes = [p for p, _ in stream.probes(20, index=0)]
+        season_a = stream.truth(probes, index=0)
+        season_b = stream.truth(probes, index=30)
+        season_a_again = stream.truth(probes, index=60)
+        np.testing.assert_array_equal(season_a, season_a_again)
+        assert float(np.mean(np.abs(season_a - season_b))) > 0.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            AbruptShiftStream(shift_at=0)
+        with pytest.raises(WorkloadError):
+            regime = DriftRegime(mean=(0.5, 0.5))
+            AbruptShiftStream(shift_at=10, before=regime, after=regime)
+        with pytest.raises(WorkloadError):
+            DriftRegime(mean=(1.5, 0.5))
+        with pytest.raises(WorkloadError):
+            DriftRegime(mean=(0.5, 0.5), scale=0.0)
+        with pytest.raises(WorkloadError):
+            RotatingDriftStream(period=1)
+        with pytest.raises(WorkloadError):
+            RotatingDriftStream(period=10, radius=0.9)
+        with pytest.raises(WorkloadError):
+            RotatingDriftStream(period=10, granularity=11)
+        with pytest.raises(WorkloadError):
+            SeasonalDriftStream(regimes=[DriftRegime(mean=(0.5, 0.5))])
+        with pytest.raises(WorkloadError):
+            SeasonalDriftStream(season_length=0)
+        with pytest.raises(WorkloadError):
+            # Regime dimensionality must match the stream's.
+            AbruptShiftStream(
+                shift_at=10,
+                before=DriftRegime(mean=(0.3, 0.3, 0.3)),
+                after=DriftRegime(mean=(0.7, 0.7, 0.7)),
+                dimension=2,
+            ).labelled(1)
