@@ -32,6 +32,7 @@ fleet view.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 
@@ -432,13 +433,25 @@ class ShardedSelectivityService:
     def drain(self, timeout: float | None = None) -> None:
         """Flush all buffers and wait for all in-flight refits, fleet-wide.
 
-        ``timeout`` (seconds) applies per shard, bounding each shard's
-        refit wait like :meth:`SelectivityService.drain` does.
+        ``timeout`` (seconds) is a *total* budget: each shard gets
+        whatever remains when its turn comes, so ``drain(5.0)`` bounds
+        the whole fleet sweep at ~5 s rather than 5 s per shard.  An
+        exhausted budget raises :class:`ServingError` naming how many
+        shards were still undrained.
         """
         with self._lock:
             workers = tuple(self._workers.values())
-        for worker in workers:
-            worker.drain(timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for position, worker in enumerate(workers):
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServingError(
+                        f"drain budget of {timeout}s exhausted with "
+                        f"{len(workers) - position} shard(s) undrained"
+                    )
+            worker.drain(remaining)
 
     # ------------------------------------------------------------------
     # Elastic membership

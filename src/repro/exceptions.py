@@ -19,6 +19,10 @@ __all__ = [
     "ExperimentError",
     "ServingError",
     "ClusterError",
+    "NetError",
+    "RemoteTimeoutError",
+    "WorkerUnavailableError",
+    "RemoteError",
 ]
 
 
@@ -64,3 +68,25 @@ class ServingError(ReproError):
 
 class ClusterError(ReproError):
     """The sharded serving cluster was misconfigured or misused."""
+
+
+class NetError(ReproError):
+    """The out-of-process serving layer failed (framing, transport, config)."""
+
+
+class RemoteTimeoutError(NetError):
+    """A remote request did not complete within its per-request timeout."""
+
+
+class WorkerUnavailableError(NetError):
+    """A shard worker's connection is down and could not be (re)established."""
+
+
+class RemoteError(NetError):
+    """A remote call failed with an error that has no local repro type.
+
+    The original exception's type name and message are preserved so the
+    failure is diagnosable from the client side; repro-hierarchy errors
+    are instead re-raised as their local types (see
+    :func:`repro.net.protocol.raise_remote_error`).
+    """

@@ -15,8 +15,11 @@ Each sub-command runs the corresponding module under
 from __future__ import annotations
 
 import argparse
+import threading
+import time
 from collections.abc import Sequence
 
+from repro.exceptions import ExperimentError
 from repro.experiments.ablations import (
     AblationRecord,
     run_anchor_points_ablation,
@@ -73,6 +76,60 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("penalty", "clipping", "anchors", "solver", "all"),
         default="all",
     )
+
+    worker = subparsers.add_parser(
+        "worker", help="run one out-of-process serving shard"
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    worker.add_argument("--shard-id", default="worker")
+    worker.add_argument("--cache-capacity", type=int, default=4096)
+    worker.add_argument(
+        "--scheduler-mode", choices=("background", "inline"), default="background"
+    )
+    worker.add_argument(
+        "--run-seconds",
+        type=float,
+        default=None,
+        help="exit after this many seconds (tests/smoke runs)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the async gateway over a worker fleet"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--worker",
+        action="append",
+        default=[],
+        metavar="NAME=HOST:PORT",
+        help="a worker to route over (repeatable); when omitted, "
+        "--spawn-workers local worker processes are launched",
+    )
+    serve.add_argument(
+        "--spawn-workers",
+        type=int,
+        default=0,
+        help="launch N local worker processes instead of dialling --worker",
+    )
+    serve.add_argument("--request-timeout", type=float, default=30.0)
+    serve.add_argument(
+        "--health-interval",
+        type=float,
+        default=None,
+        help="seconds between worker health pings (off by default)",
+    )
+    serve.add_argument(
+        "--run-seconds",
+        type=float,
+        default=None,
+        help="exit after this many seconds (tests/smoke runs)",
+    )
     return parser
 
 
@@ -95,10 +152,106 @@ def _run_ablations(which: str) -> str:
     return "\n\n".join(parts)
 
 
+def _parse_worker_spec(spec: str) -> tuple[str, tuple[str, int]]:
+    """Parse one ``NAME=HOST:PORT`` worker spec."""
+    name, separator, address = spec.partition("=")
+    host, _, port = address.rpartition(":")
+    if not separator or not name or not host or not port.isdigit():
+        raise ExperimentError(
+            f"worker spec {spec!r} is not of the form NAME=HOST:PORT"
+        )
+    return name, (host, int(port))
+
+
+def _run_worker_command(args: argparse.Namespace) -> str:
+    """``python -m repro worker``: one out-of-process serving shard."""
+    from repro.net import WorkerServer
+
+    server = WorkerServer(
+        host=args.host,
+        port=args.port,
+        shard_id=args.shard_id,
+        cache_capacity=args.cache_capacity,
+        scheduler_mode=args.scheduler_mode,
+    )
+    server.start()
+    print(
+        f"worker {args.shard_id!r} serving on {server.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        server.wait(args.run_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return f"worker {args.shard_id!r} stopped"
+
+
+def _run_serve_command(args: argparse.Namespace) -> str:
+    """``python -m repro serve``: the gateway over a worker fleet."""
+    from repro.net import GatewayServer, WorkerProcess
+
+    spawned: list[WorkerProcess] = []
+    if args.worker:
+        workers = dict(_parse_worker_spec(spec) for spec in args.worker)
+    elif args.spawn_workers > 0:
+        for index in range(args.spawn_workers):
+            spawned.append(WorkerProcess(shard_id=f"worker-{index}"))
+        workers = {worker.shard_id: worker.address for worker in spawned}
+    else:
+        raise ExperimentError(
+            "serve needs at least one --worker NAME=HOST:PORT or "
+            "--spawn-workers N"
+        )
+    server = GatewayServer(
+        workers,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+        health_interval=args.health_interval,
+    )
+    try:
+        server.start()
+    except BaseException:
+        for worker in spawned:
+            worker.terminate()
+        raise
+    print(
+        f"gateway serving on {server.host}:{server.port} "
+        f"over {len(workers)} worker(s)",
+        flush=True,
+    )
+    try:
+        if args.run_seconds is None:
+            threading.Event().wait()
+        else:
+            time.sleep(args.run_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        for worker in spawned:
+            try:
+                worker.request_shutdown()
+            except Exception:
+                worker.terminate()
+    return f"gateway stopped ({len(workers)} worker(s))"
+
+
 def main(argv: Sequence[str] | None = None) -> str:
     """Run the selected experiment and return (and print) its report."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.experiment == "worker":
+        report = _run_worker_command(args)
+        print(report)
+        return report
+    if args.experiment == "serve":
+        report = _run_serve_command(args)
+        print(report)
+        return report
 
     if args.experiment == "table3":
         report = run_table3(scale=args.scale, row_count=args.rows).render()

@@ -1,0 +1,892 @@
+"""The async serving gateway: one front door over N worker processes.
+
+:class:`SelectivityGateway` is the asyncio core.  It keeps one pipelined
+connection per worker (:class:`_WorkerLink`), routes model keys over the
+fleet with the same BLAKE2b :class:`~repro.cluster.router.ShardRouter`
+the in-process cluster uses, fans :meth:`estimate_batch_mixed` out
+across worker connections with input-order reassembly, and migrates keys
+across the process boundary on membership changes via the worker-side
+``migrate_out`` / ``migrate_in`` bundle (the cluster's exact-snapshot
+hand-off, split at the wire).
+
+Robustness model:
+
+* every worker call carries a per-request timeout; expiry surfaces
+  :class:`~repro.exceptions.RemoteTimeoutError` (never a silent retry —
+  the caller decides whether the operation is safe to repeat);
+* connection failures on **idempotent reads** are retried with bounded
+  exponential backoff, reconnecting first — a worker killed mid-batch
+  costs a retry, not an error;
+* connection failures on **writes** (``observe``, registration,
+  migration) are never auto-retried: a request that died in flight may
+  or may not have been applied, and retrying could double-count
+  feedback.  They surface :class:`WorkerUnavailableError` instead;
+* a ``ServingError`` reply gets one re-route retry for any method — the
+  key may have migrated, and an error reply proves the request was
+  *not* applied, so the retry cannot duplicate anything;
+* links reconnect lazily on the next call (and eagerly from the
+  optional health-check loop), so a worker respawned at the same
+  address resumes service without gateway restarts.
+
+:class:`GatewayServer` hosts the gateway on its own event-loop thread
+and speaks the same wire protocol to downstream clients, dispatching one
+asyncio task per request (responses may return out of request order; the
+``request_id`` echo keeps clients straight).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import (
+    ClusterError,
+    NetError,
+    RemoteTimeoutError,
+    ServingError,
+    WorkerUnavailableError,
+)
+from repro.serving.registry import ModelKey, normalize_key
+from repro.cluster.router import ShardRouter
+from repro.net.protocol import (
+    Request,
+    Response,
+    error_response,
+    raise_remote_error,
+    read_message,
+    write_message,
+)
+from repro.net.stats import GatewayStats, merge_worker_stats
+
+__all__ = ["SelectivityGateway", "GatewayServer"]
+
+#: Wire methods safe to retry after a connection failure: they either
+#: mutate nothing or are served from an immutable snapshot, so replaying
+#: one cannot double-apply anything.
+IDEMPOTENT_READS = frozenset(
+    {
+        "estimate",
+        "estimate_batch",
+        "snapshot_for",
+        "feedback_count",
+        "model_keys",
+        "has_challenger",
+        "challenger_snapshot_for",
+        "stats",
+        "ping",
+        "identify",
+    }
+)
+
+
+class _WorkerLink:
+    """One pipelined protocol connection to a worker server."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        stats: GatewayStats,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self._stats = stats
+        self._connect_timeout = connect_timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._connect_lock = asyncio.Lock()
+        self._was_connected = False
+        self._closed = False
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def connect(self) -> None:
+        """(Re)establish the connection; no-op when already connected."""
+        async with self._connect_lock:
+            if self._closed:
+                raise WorkerUnavailableError(
+                    f"link to worker {self.name!r} is closed"
+                )
+            if self._writer is not None:
+                return
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    self._connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as error:
+                raise WorkerUnavailableError(
+                    f"cannot connect to worker {self.name!r} at "
+                    f"{self.host}:{self.port}: {error}"
+                ) from error
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._reader, self._writer = reader, writer
+            self._reader_task = asyncio.create_task(self._read_loop())
+            if self._was_connected:
+                self._stats.record_reconnect()
+            self._was_connected = True
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                message = await read_message(self._reader)
+                if not isinstance(message, Response):
+                    raise NetError(
+                        f"worker {self.name!r} sent a non-response frame"
+                    )
+                future = self._pending.pop(message.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (EOFError, NetError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._drop_connection()
+
+    def _drop_connection(self) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
+        pending, self._pending = dict(self._pending), {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    WorkerUnavailableError(
+                        f"connection to worker {self.name!r} was lost with "
+                        "the request in flight"
+                    )
+                )
+
+    async def call(
+        self,
+        method: str,
+        kwargs: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """One request/response round trip (pipelined, out-of-order safe)."""
+        if self._writer is None:
+            await self.connect()
+        writer = self._writer
+        if writer is None:
+            raise WorkerUnavailableError(
+                f"link to worker {self.name!r} dropped during connect"
+            )
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        started = time.monotonic()
+        try:
+            async with self._write_lock:
+                await write_message(
+                    writer, Request(request_id, method, dict(kwargs or {}))
+                )
+        except (OSError, ConnectionError) as error:
+            self._pending.pop(request_id, None)
+            self._drop_connection()
+            raise WorkerUnavailableError(
+                f"lost connection to worker {self.name!r} while sending "
+                f"{method!r}: {error}"
+            ) from error
+        try:
+            response = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            self._stats.record_timeout()
+            raise RemoteTimeoutError(
+                f"worker {self.name!r} did not answer {method!r} within "
+                f"{timeout}s"
+            ) from None
+        self._stats.record_worker_call(self.name, time.monotonic() - started)
+        raise_remote_error(response)
+        return response.value
+
+    async def close(self) -> None:
+        """Tear the link down and fail anything still in flight."""
+        self._closed = True
+        task = self._reader_task
+        self._drop_connection()
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+
+
+class SelectivityGateway:
+    """Route the serving surface over a fleet of worker processes."""
+
+    def __init__(
+        self,
+        workers: dict[str, tuple[str, int]],
+        replicas: int = 64,
+        request_timeout: float | None = 30.0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        health_interval: float | None = None,
+    ) -> None:
+        """``workers`` maps worker name → ``(host, port)``.
+
+        ``request_timeout`` bounds every routine worker round trip
+        (``None`` disables); migrations and drains manage their own
+        budgets.  ``max_retries`` applies to idempotent reads only.
+        ``health_interval`` (seconds), when set, runs a background ping
+        loop that eagerly reconnects failed links.
+        """
+        if not workers:
+            raise ClusterError("a gateway needs at least one worker")
+        if max_retries < 0:
+            raise ClusterError("max_retries must be non-negative")
+        self._stats = GatewayStats()
+        self._links = {
+            name: _WorkerLink(name, host, port, self._stats)
+            for name, (host, port) in workers.items()
+        }
+        self._router = ShardRouter(list(self._links), replicas=replicas)
+        self._replicas = replicas
+        self._request_timeout = request_timeout
+        self._max_retries = max_retries
+        self._retry_backoff = retry_backoff
+        self._health_interval = health_interval
+        self._health_task: asyncio.Task | None = None
+        self._membership = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> GatewayStats:
+        """Gateway-side counters and latency windows."""
+        return self._stats
+
+    @property
+    def router(self) -> ShardRouter:
+        """The hash ring (mutate only through add/remove_worker)."""
+        return self._router
+
+    async def start(self) -> None:
+        """Connect every link; start the health loop if configured."""
+        await asyncio.gather(
+            *(link.connect() for link in self._links.values())
+        )
+        if self._health_interval is not None and self._health_task is None:
+            self._health_task = asyncio.create_task(self._health_loop())
+
+    async def close(self) -> None:
+        """Stop the health loop and close every worker link."""
+        self._closed = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        await asyncio.gather(
+            *(link.close() for link in self._links.values())
+        )
+
+    async def ping(self) -> str:
+        """Gateway liveness (answered without touching any worker)."""
+        return "pong"
+
+    async def worker_names(self) -> tuple[str, ...]:
+        """All worker names on the ring, sorted."""
+        return self._router.shards
+
+    async def set_worker_address(
+        self, name: str, host: str, port: int
+    ) -> None:
+        """Point a worker's link at a new address (respawn/failover).
+
+        The old connection is severed; the next call reconnects to the
+        new address.  The ring position is unchanged — the worker keeps
+        its identity and its keys.
+        """
+        async with self._membership:
+            link = self._links.get(name)
+            if link is None:
+                raise ClusterError(f"unknown worker {name!r}")
+            await link.close()
+            self._links[name] = _WorkerLink(name, host, port, self._stats)
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._health_interval)
+            for link in list(self._links.values()):
+                try:
+                    await link.call("ping", timeout=self._request_timeout)
+                except (WorkerUnavailableError, NetError):
+                    # The next call (or next health tick) reconnects; the
+                    # link already failed its in-flight futures.
+                    continue
+
+    # ------------------------------------------------------------------
+    # Routing and retry machinery
+    # ------------------------------------------------------------------
+    def _link_for(self, key: ModelKey) -> _WorkerLink:
+        return self._links[self._router.route(key)]
+
+    async def _call_link(
+        self,
+        link: _WorkerLink,
+        method: str,
+        kwargs: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """One bounded worker call, with reconnect-and-retry on reads."""
+        wire_timeout = self._request_timeout if timeout is None else timeout
+        retries = self._max_retries if method in IDEMPOTENT_READS else 0
+        last_error: Exception | None = None
+        for attempt in range(retries + 1):
+            try:
+                return await link.call(method, kwargs, timeout=wire_timeout)
+            except RemoteTimeoutError:
+                raise  # the worker may still apply it; never replay
+            except (WorkerUnavailableError, NetError) as error:
+                last_error = error
+                if attempt < retries:
+                    self._stats.record_retry()
+                    await asyncio.sleep(self._retry_backoff * (2**attempt))
+        assert last_error is not None
+        raise last_error
+
+    async def _call_routed(
+        self, key: ModelKey, method: str, kwargs: dict[str, Any]
+    ) -> Any:
+        """Route and call, retrying once if the key migrated mid-call."""
+        for attempt in (0, 1):
+            link = self._link_for(key)
+            try:
+                return await self._call_link(link, method, kwargs)
+            except ServingError:
+                # An error reply proves the request was not applied, so
+                # one re-route retry is duplicate-safe for any method.
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+    async def register_model(
+        self,
+        table: str | ModelKey,
+        backend: bytes,
+        columns: Sequence[str] = (),
+    ) -> ModelKey:
+        """Install an :func:`~repro.net.protocol.encode_backend` payload
+        on the worker its key routes to."""
+        key = normalize_key(table, columns)
+        return await self._call_routed(
+            key, "register_model", {"table": key, "backend": backend}
+        )
+
+    async def unregister_model(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bytes:
+        """Withdraw a key's backend; returns the encoded trainer."""
+        key = normalize_key(table, columns)
+        return await self._call_routed(key, "unregister_model", {"table": key})
+
+    async def model_keys(self) -> tuple[ModelKey, ...]:
+        """Every key served anywhere in the fleet, sorted."""
+        names = self._router.shards
+        per_worker = await asyncio.gather(
+            *(
+                self._call_link(self._links[name], "model_keys")
+                for name in names
+            )
+        )
+        keys: list[ModelKey] = []
+        for worker_keys in per_worker:
+            keys.extend(worker_keys)
+        return tuple(sorted(keys))
+
+    async def snapshot_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bytes:
+        """The owning worker's current snapshot, wire-encoded."""
+        key = normalize_key(table, columns)
+        return await self._call_routed(key, "snapshot_for", {"table": key})
+
+    async def feedback_count(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> int:
+        """Observations accepted for a key (absorbed plus buffered)."""
+        key = normalize_key(table, columns)
+        return await self._call_routed(key, "feedback_count", {"table": key})
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    async def estimate(
+        self,
+        table: str | ModelKey,
+        predicate: object,
+        columns: Sequence[str] = (),
+    ) -> float:
+        """Scalar estimate from the owning worker's current snapshot."""
+        key = normalize_key(table, columns)
+        return await self._call_routed(
+            key, "estimate", {"table": key, "predicate": predicate}
+        )
+
+    async def estimate_batch(
+        self,
+        table: str | ModelKey,
+        predicates: Sequence[object],
+        columns: Sequence[str] = (),
+    ) -> np.ndarray:
+        """Single-key burst, routed whole to one worker's vectorised path."""
+        key = normalize_key(table, columns)
+        return await self._call_routed(
+            key, "estimate_batch", {"table": key, "predicates": list(predicates)}
+        )
+
+    async def estimate_batch_mixed(
+        self, pairs: Sequence[tuple[str | ModelKey, object]]
+    ) -> np.ndarray:
+        """Mixed-key burst: split by worker, fan out, reassemble in order."""
+        pairs = list(pairs)
+        results = np.empty(len(pairs))
+        if not pairs:
+            return results
+        groups: dict[ModelKey, tuple[list[int], list[object]]] = {}
+        for index, (table, predicate) in enumerate(pairs):
+            key = normalize_key(table, ())
+            indices, predicates = groups.setdefault(key, ([], []))
+            indices.append(index)
+            predicates.append(predicate)
+        self._stats.record_fanout(
+            len({self._router.route(key) for key in groups})
+        )
+
+        async def run_group(
+            key: ModelKey, indices: list[int], predicates: list[object]
+        ) -> None:
+            values = await self._call_routed(
+                key, "estimate_batch", {"table": key, "predicates": predicates}
+            )
+            results[indices] = values
+
+        await asyncio.gather(
+            *(
+                run_group(key, indices, predicates)
+                for key, (indices, predicates) in groups.items()
+            )
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    async def observe(
+        self,
+        table: str | ModelKey,
+        predicate: object,
+        selectivity: float,
+        columns: Sequence[str] = (),
+    ) -> bool:
+        """Record feedback on the owning worker's observation buffer.
+
+        Not auto-retried on connection failure (the request may already
+        have been applied); a failure surfaces
+        :class:`WorkerUnavailableError` and the caller decides.
+        """
+        key = normalize_key(table, columns)
+        return await self._call_routed(
+            key,
+            "observe",
+            {"table": key, "predicate": predicate, "selectivity": selectivity},
+        )
+
+    async def refit_now(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bytes:
+        """Flush the key's backlog and retrain synchronously on its worker.
+
+        The wire timeout is waived — a refit is allowed to take longer
+        than a routine read."""
+        key = normalize_key(table, columns)
+        link = self._link_for(key)
+        return await link.call("refit_now", {"table": key}, timeout=None)
+
+    async def flush(self, blocking: bool = True) -> int:
+        """Replay every worker's buffered observations; total applied."""
+        counts = await asyncio.gather(
+            *(
+                self._links[name].call(
+                    "flush", {"blocking": blocking}, timeout=None
+                )
+                for name in self._router.shards
+            )
+        )
+        return sum(counts)
+
+    async def drain(self, timeout: float | None = None) -> None:
+        """Flush all buffers and wait out all refits, fleet-wide.
+
+        ``timeout`` is a *total* budget: each worker gets whatever
+        remains when its turn comes, and an exhausted budget raises
+        :class:`ServingError` naming the workers still undrained.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        names = self._router.shards
+        for position, name in enumerate(names):
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServingError(
+                        f"drain budget of {timeout}s exhausted with "
+                        f"{len(names) - position} worker(s) undrained"
+                    )
+            await self._links[name].call(
+                "drain",
+                {"timeout": remaining},
+                timeout=None if remaining is None else remaining + 5.0,
+            )
+
+    # ------------------------------------------------------------------
+    # Membership (cross-process migration)
+    # ------------------------------------------------------------------
+    async def add_worker(self, name: str, host: str, port: int) -> str:
+        """Grow the ring by one worker and migrate its keys onto it.
+
+        Only keys whose route changes move (consistent-hash minimal
+        set); each crosses the process boundary as one exact-snapshot
+        bundle, so the destination serves the same model bytes the
+        source did — no retraining.
+        """
+        async with self._membership:
+            if name in self._links:
+                raise ClusterError(f"worker {name!r} already on the ring")
+            link = _WorkerLink(name, host, port, self._stats)
+            await link.connect()
+            placements: dict[ModelKey, str] = {}
+            for owner in self._router.shards:
+                for key in await self._call_link(
+                    self._links[owner], "model_keys"
+                ):
+                    placements[key] = owner
+            self._links[name] = link
+            self._router.add(name)
+            moved = sorted(
+                (key, owner)
+                for key, owner in placements.items()
+                if self._router.route(key) != owner
+            )
+            for key, owner in moved:
+                await self._migrate(
+                    key,
+                    self._links[owner],
+                    self._links[self._router.route(key)],
+                )
+            return name
+
+    async def remove_worker(self, name: str, shutdown: bool = False) -> int:
+        """Migrate a worker's keys clockwise and retire it from the ring.
+
+        With ``shutdown=True`` the emptied worker is asked to drain and
+        exit.  Returns how many keys were migrated.
+        """
+        async with self._membership:
+            if name not in self._links:
+                raise ClusterError(f"unknown worker {name!r}")
+            if len(self._links) == 1:
+                raise ClusterError("cannot remove the last worker")
+            link = self._links[name]
+            self._router.remove(name)
+            keys = sorted(await self._call_link(link, "model_keys"))
+            for key in keys:
+                await self._migrate(
+                    key, link, self._links[self._router.route(key)]
+                )
+            if shutdown:
+                await link.call("drain", {"timeout": None}, timeout=None)
+                await link.call("shutdown", timeout=None)
+            await link.close()
+            del self._links[name]
+            self._stats.forget_worker(name)
+            return len(keys)
+
+    async def _migrate(
+        self, key: ModelKey, source: _WorkerLink, dest: _WorkerLink
+    ) -> None:
+        # No wire timeout: migrate_out drains the source's refits, which
+        # is allowed to take longer than a routine read.  Never retried —
+        # a lost bundle is an error to surface, not to replay.
+        bundle = await source.call("migrate_out", {"table": key}, timeout=None)
+        await dest.call("migrate_in", {"bundle": bundle}, timeout=None)
+        self._stats.record_migration()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    async def fleet_stats(self) -> dict[str, Any]:
+        """One ClusterStats-shaped view over the whole fleet.
+
+        ``aggregate`` / ``per_shard`` / ``backend_errors`` mirror
+        :meth:`repro.cluster.stats.ClusterStats.snapshot`; ``gateway``
+        adds this gateway's own counters and latency windows.  A worker
+        that cannot be reached is skipped (its name is listed under
+        ``unreachable``) rather than failing the whole scrape.
+        """
+        names = self._router.shards
+        views = await asyncio.gather(
+            *(
+                self._call_link(self._links[name], "stats")
+                for name in names
+            ),
+            return_exceptions=True,
+        )
+        per_worker: dict[str, dict[str, Any]] = {}
+        unreachable: list[str] = []
+        for name, view in zip(names, views):
+            if isinstance(view, BaseException):
+                unreachable.append(name)
+            else:
+                per_worker[name] = view
+        merged = merge_worker_stats(per_worker)
+        merged["per_shard"] = {
+            name: dict(view["counters"]) for name, view in per_worker.items()
+        }
+        merged["gateway"] = self._stats.snapshot()
+        merged["unreachable"] = tuple(unreachable)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectivityGateway(workers={len(self._links)}, "
+            f"closed={self._closed})"
+        )
+
+
+class GatewayServer:
+    """Host a gateway on its own event-loop thread, serving the protocol.
+
+    Downstream clients (:class:`~repro.net.client.RemoteSelectivityService`)
+    speak the same framing the workers do; each client request runs as
+    its own asyncio task, so slow calls (a synchronous refit) never
+    block fast reads pipelined on the same connection.
+    """
+
+    #: Wire methods a client may invoke on the gateway.
+    METHODS = frozenset(
+        {
+            "ping",
+            "worker_names",
+            "set_worker_address",
+            "register_model",
+            "unregister_model",
+            "model_keys",
+            "snapshot_for",
+            "feedback_count",
+            "estimate",
+            "estimate_batch",
+            "estimate_batch_mixed",
+            "observe",
+            "refit_now",
+            "flush",
+            "drain",
+            "add_worker",
+            "remove_worker",
+            "fleet_stats",
+        }
+    )
+
+    def __init__(
+        self,
+        workers: dict[str, tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **gateway_config: Any,
+    ) -> None:
+        self._gateway = SelectivityGateway(workers, **gateway_config)
+        self._requested_host = host
+        self._requested_port = port
+        self._host: str | None = None
+        self._port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._closed = False
+
+    @property
+    def gateway(self) -> SelectivityGateway:
+        """The asyncio core (admin via :meth:`run`)."""
+        return self._gateway
+
+    @property
+    def host(self) -> str:
+        """The bound interface (after :meth:`start`)."""
+        if self._host is None:
+            raise NetError("gateway server is not started")
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._port is None:
+            raise NetError("gateway server is not started")
+        return self._port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` clients should dial."""
+        return self.host, self.port
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 60.0) -> None:
+        """Spin the event-loop thread up and wait until accepting."""
+        if self._thread is not None:
+            raise NetError("gateway server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-net-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise NetError(f"gateway server did not start within {timeout}s")
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self._gateway.start()
+            server = await asyncio.start_server(
+                self._handle_client, self._requested_host, self._requested_port
+            )
+        except BaseException as error:
+            self._startup_error = error
+            self._started.set()
+            await self._gateway.close()
+            return
+        self._host, self._port = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            await self._gateway.close()
+
+    def run(self, coroutine, timeout: float | None = None) -> Any:
+        """Run a coroutine on the gateway loop from sync code (admin ops).
+
+        Example: ``server.run(server.gateway.add_worker(name, host, port))``.
+        """
+        if self._loop is None:
+            raise NetError("gateway server is not started")
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop serving, close worker links, join the loop thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Client connections
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except (EOFError, NetError, OSError, ConnectionError):
+                    return
+                if not isinstance(message, Request):
+                    return  # protocol violation; drop the connection
+                task = asyncio.create_task(
+                    self._serve_request(message, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            for task in tuple(tasks):
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _serve_request(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        stats = self._gateway.stats
+        stats.record_request_started()
+        try:
+            value = await self._dispatch(request.method, request.kwargs)
+            response = Response(request.request_id, ok=True, value=value)
+        except asyncio.CancelledError:
+            stats.record_request_finished(False)
+            raise
+        except Exception as error:
+            response = error_response(request.request_id, error)
+        stats.record_request_finished(response.ok)
+        async with write_lock:
+            try:
+                await write_message(writer, response)
+            except (OSError, NetError, ConnectionError):
+                pass  # client went away; nothing to deliver the reply to
+
+    async def _dispatch(self, method: str, kwargs: dict[str, Any]) -> Any:
+        if method not in self.METHODS:
+            raise NetError(f"unknown gateway method {method!r}")
+        return await getattr(self._gateway, method)(**kwargs)
+
+    def __repr__(self) -> str:
+        address = (
+            f"({self._host!r}, {self._port})"
+            if self._host is not None
+            else "unbound"
+        )
+        return f"GatewayServer(address={address}, closed={self._closed})"

@@ -1,0 +1,248 @@
+"""Gateway-side observability: counters, per-worker latency, fleet rollup.
+
+:class:`GatewayStats` is the :class:`~repro.serving.stats.ServingStats`
+of the network layer — what the gateway itself did (requests in flight,
+per-worker latency windows, retries, reconnects, timeouts), as opposed
+to what the workers did with the requests (their own ``ServingStats``,
+scraped over the wire).
+
+:func:`merge_worker_stats` is the cross-process half of
+:class:`~repro.cluster.stats.ClusterStats`: given each worker's exported
+stats view (the worker server's ``stats`` method), it sums the counters,
+recomputes the hit rate from summed hits/misses, and computes
+percentiles over the *merged* latency reservoirs — the same aggregation
+discipline the in-process cluster uses, so dashboards read one schema
+whether the fleet is threads or processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import NetError
+
+__all__ = ["GatewayStats", "merge_worker_stats", "WORKER_SUMMED_COUNTERS"]
+
+#: The worker counters summed fleet-wide — the in-process cluster's list.
+WORKER_SUMMED_COUNTERS = (
+    "estimate_requests",
+    "batch_requests",
+    "predicates_served",
+    "cache_hits",
+    "cache_misses",
+    "observations",
+    "challenger_observations",
+    "refits_triggered",
+    "drift_refits_triggered",
+    "refits_completed",
+    "challenger_refits",
+    "promotions",
+)
+
+_BUFFER_COUNTERS = (
+    "appended", "applied", "requeued", "dropped", "discarded", "pending",
+)
+
+
+class GatewayStats:
+    """Thread-safe counters and per-worker latency windows for a gateway."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        if latency_window < 1:
+            raise NetError("latency_window must be at least 1")
+        self._lock = threading.Lock()
+        self._latency_window = latency_window
+        # worker name -> recent request round-trip seconds (gateway->worker).
+        self._worker_latencies: dict[str, deque[float]] = {}
+        self.requests = 0
+        self.responses = 0
+        self.errors = 0
+        self.retries = 0
+        self.reconnects = 0
+        self.timeouts = 0
+        self.in_flight = 0
+        self.fanouts = 0
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request_started(self) -> None:
+        """A client request entered the gateway (any method)."""
+        with self._lock:
+            self.requests += 1
+            self.in_flight += 1
+
+    def record_request_finished(self, ok: bool) -> None:
+        """The matching response left the gateway."""
+        with self._lock:
+            self.in_flight -= 1
+            if ok:
+                self.responses += 1
+            else:
+                self.errors += 1
+
+    def record_worker_call(self, worker: str, seconds: float) -> None:
+        """One gateway→worker round trip completed."""
+        with self._lock:
+            window = self._worker_latencies.get(worker)
+            if window is None:
+                window = deque(maxlen=self._latency_window)
+                self._worker_latencies[worker] = window
+            window.append(seconds)
+
+    def record_retry(self) -> None:
+        """An idempotent read was re-dispatched after a failure."""
+        with self._lock:
+            self.retries += 1
+
+    def record_reconnect(self) -> None:
+        """A worker connection was re-established."""
+        with self._lock:
+            self.reconnects += 1
+
+    def record_timeout(self) -> None:
+        """A worker call exceeded its per-request timeout."""
+        with self._lock:
+            self.timeouts += 1
+
+    def record_fanout(self, workers: int) -> None:
+        """A mixed batch was split across ``workers`` connections."""
+        with self._lock:
+            self.fanouts += workers
+
+    def record_migration(self) -> None:
+        """One key moved between workers across the process boundary."""
+        with self._lock:
+            self.migrations += 1
+
+    def forget_worker(self, worker: str) -> None:
+        """Drop a retired worker's latency window."""
+        with self._lock:
+            self._worker_latencies.pop(worker, None)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def worker_latency_percentile(self, worker: str, percentile: float) -> float:
+        """One worker's recent round-trip percentile (0.0 when idle)."""
+        if not (0.0 <= percentile <= 100.0):
+            raise NetError("percentile must be in [0, 100]")
+        with self._lock:
+            window = self._worker_latencies.get(worker)
+            if not window:
+                return 0.0
+            return float(np.percentile(np.array(window), percentile))
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Round-trip percentile over every worker's merged window."""
+        if not (0.0 <= percentile <= 100.0):
+            raise NetError("percentile must be in [0, 100]")
+        with self._lock:
+            merged = [
+                value
+                for window in self._worker_latencies.values()
+                for value in window
+            ]
+        if not merged:
+            return 0.0
+        return float(np.percentile(np.array(merged), percentile))
+
+    def counters(self) -> dict[str, int]:
+        """The plain gateway counters under one lock acquisition."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "responses": self.responses,
+                "errors": self.errors,
+                "retries": self.retries,
+                "reconnects": self.reconnects,
+                "timeouts": self.timeouts,
+                "in_flight": self.in_flight,
+                "fanouts": self.fanouts,
+                "migrations": self.migrations,
+            }
+
+    def snapshot(self) -> dict[str, object]:
+        """Counters plus per-worker p50/p99 round-trip latency."""
+        view: dict[str, object] = dict(self.counters())
+        with self._lock:
+            workers = {
+                name: tuple(window)
+                for name, window in self._worker_latencies.items()
+            }
+        per_worker: dict[str, dict[str, float]] = {}
+        for name, window in workers.items():
+            if window:
+                values = np.array(window)
+                per_worker[name] = {
+                    "p50_latency_seconds": float(np.percentile(values, 50.0)),
+                    "p99_latency_seconds": float(np.percentile(values, 99.0)),
+                    "calls": len(window),
+                }
+        view["per_worker_latency"] = per_worker
+        view["p99_latency_seconds"] = self.latency_percentile(99.0)
+        return view
+
+    def __repr__(self) -> str:
+        counters = self.counters()
+        return (
+            f"GatewayStats(requests={counters['requests']}, "
+            f"in_flight={counters['in_flight']}, "
+            f"retries={counters['retries']}, "
+            f"reconnects={counters['reconnects']})"
+        )
+
+
+def merge_worker_stats(
+    per_worker: dict[str, dict[str, object]],
+) -> dict[str, object]:
+    """Roll per-worker exported stats into one ClusterStats-shaped view.
+
+    ``per_worker`` maps worker name to the dict the worker server's
+    ``stats`` method returns: ``counters`` (ServingStats counters),
+    ``latencies`` (the latency reservoir), ``buffer`` (ObservationBuffer
+    counters), ``backend_error_windows`` and ``model_keys``.  The result
+    mirrors :meth:`repro.cluster.stats.ClusterStats.aggregate` — summed
+    counters, true hit rate, percentiles over merged reservoirs — so the
+    out-of-process fleet reads exactly like the in-process one.
+    """
+    totals: dict[str, float] = {name: 0 for name in WORKER_SUMMED_COUNTERS}
+    buffer_totals = dict.fromkeys(_BUFFER_COUNTERS, 0)
+    latencies: list[float] = []
+    merged_errors: dict[tuple[str, str], list[float]] = {}
+    model_keys = 0
+    for view in per_worker.values():
+        counters = view.get("counters", {})
+        for name in WORKER_SUMMED_COUNTERS:
+            totals[name] += counters.get(name, 0)
+        latencies.extend(view.get("latencies", ()))
+        for name, value in view.get("buffer", {}).items():
+            if name in buffer_totals:
+                buffer_totals[name] += value
+        for scope, window in view.get("backend_error_windows", {}).items():
+            merged_errors.setdefault(scope, []).extend(window)
+        model_keys += int(view.get("model_keys", 0))
+    lookups = totals["cache_hits"] + totals["cache_misses"]
+    totals["hit_rate"] = totals["cache_hits"] / lookups if lookups else 0.0
+    merged = np.array(latencies) if latencies else None
+    totals["p50_latency_seconds"] = (
+        float(np.percentile(merged, 50.0)) if merged is not None else 0.0
+    )
+    totals["p99_latency_seconds"] = (
+        float(np.percentile(merged, 99.0)) if merged is not None else 0.0
+    )
+    for name, value in buffer_totals.items():
+        totals[f"observations_{name}"] = value
+    totals["shard_count"] = len(per_worker)
+    totals["model_keys"] = model_keys
+    backend_errors: dict[str, dict[str, float]] = {}
+    for (model, backend), window in merged_errors.items():
+        if window:
+            backend_errors.setdefault(model, {})[backend] = float(
+                sum(window) / len(window)
+            )
+    return {"aggregate": totals, "backend_errors": backend_errors}

@@ -1,0 +1,623 @@
+"""The out-of-process shard: a ShardWorker behind a threaded TCP server.
+
+:class:`WorkerServer` owns one :class:`~repro.cluster.shard.ShardWorker`
+— a complete serving stack (registry, cache, scheduler, stats, write
+buffer) — and services the wire protocol over blocking sockets.  Each
+accepted connection gets a reader thread; decoded requests are handed to
+a small dispatch pool and responses are written back under a
+per-connection lock, so responses may return out of request order — the
+``request_id`` echo is what lets the gateway pipeline many concurrent
+requests down one connection.
+
+:class:`WorkerProcess` launches a server in a child interpreter (spawn
+context, so no forked locks or schedulers are inherited) and reports the
+bound address back through a pipe.  This is the piece that actually
+bypasses the GIL: each worker process serves its keys under its own
+interpreter, and fleet throughput is the sum.
+
+Migration across the process boundary reuses the in-process cluster's
+exact-snapshot hand-off verbatim, just split at the wire: ``migrate_out``
+performs the source half (flush → refit drain → drift/A-B evidence
+collection → trainer withdrawal) and returns one picklable bundle;
+``migrate_in`` performs the destination half (re-registration with
+``refit_backlog=False`` — a migration moves a model, it does not
+retrain).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.exceptions import NetError, WorkerUnavailableError
+from repro.serving.policy import RefitPolicy
+from repro.serving.registry import ModelKey, normalize_key
+from repro.cluster.shard import ShardWorker
+from repro.net.protocol import (
+    Request,
+    Response,
+    decode_backend,
+    encode_backend,
+    encode_snapshot,
+    error_response,
+    recv_message,
+    send_message,
+)
+
+__all__ = [
+    "WorkerServer",
+    "WorkerProcess",
+    "run_worker",
+    "migration_bundle",
+    "install_bundle",
+]
+
+
+def migration_bundle(worker: ShardWorker, key: ModelKey) -> dict[str, Any]:
+    """Withdraw ``key`` from ``worker`` into one picklable hand-off bundle.
+
+    The source half of the cluster's exact-snapshot migration: buffered
+    feedback is replayed, in-flight refits publish, then the trainer,
+    drift evidence, per-backend A/B error windows, lifetime error
+    totals, any challenger (with its shadow fraction and evidence), and
+    raced buffer leftovers are collected.  After this returns the key no
+    longer exists on ``worker``.
+    """
+    worker.flush(key, blocking=True)
+    worker.service.drain()
+    drift_errors = worker.service.drift_errors(key)
+    backend_windows = {
+        backend: tuple(window)
+        for (model, backend), window
+        in worker.stats.backend_error_windows().items()
+        if model == str(key)
+    }
+    lifetime_totals = {
+        (model, backend): totals
+        for (model, backend), totals
+        in worker.stats.lifetime_error_totals().items()
+        if model == str(key)
+    }
+    challenger = None
+    challenger_errors: tuple[float, ...] = ()
+    shadow_frac = 1.0
+    if worker.has_challenger(key):
+        challenger_errors = worker.service.challenger_drift_errors(key)
+        shadow_frac = worker.service.challenger_shadow_frac(key)
+        challenger = encode_backend(worker.unregister_challenger(key))
+    trainer = encode_backend(worker.unregister_model(key))
+    leftovers = tuple(worker.buffer.discard(key))
+    return {
+        "key": key,
+        "trainer": trainer,
+        "drift_errors": tuple(drift_errors),
+        "backend_windows": backend_windows,
+        "lifetime_totals": lifetime_totals,
+        "challenger": challenger,
+        "challenger_errors": challenger_errors,
+        "shadow_frac": shadow_frac,
+        "leftovers": leftovers,
+    }
+
+
+def install_bundle(worker: ShardWorker, bundle: dict[str, Any]) -> ModelKey:
+    """Install a :func:`migration_bundle` on its destination worker.
+
+    ``refit_backlog=False`` republishes the exact model the source was
+    serving; unabsorbed feedback stays pending toward the destination's
+    refit policy — snapshot parity across the hand-off is exact.
+    """
+    key = bundle["key"]
+    trainer = decode_backend(bundle["trainer"])
+    worker.register_model(
+        key,
+        trainer,
+        refit_backlog=False,
+        initial_errors=bundle["drift_errors"],
+    )
+    if bundle["challenger"] is not None:
+        worker.register_challenger(
+            key,
+            decode_backend(bundle["challenger"]),
+            shadow_frac=bundle["shadow_frac"],
+            refit_backlog=False,
+            initial_errors=bundle["challenger_errors"],
+        )
+    for backend, window in bundle["backend_windows"].items():
+        worker.stats.record_backend_errors(key, backend, window)
+    if bundle["lifetime_totals"]:
+        worker.stats.absorb_lifetime_errors(bundle["lifetime_totals"])
+    for observation in bundle["leftovers"]:
+        worker.buffer.append(key, observation)
+    if bundle["leftovers"]:
+        worker.flush(key, blocking=True)
+    return key
+
+
+class WorkerServer:
+    """Serve one ShardWorker's full surface over the wire protocol."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_id: str = "worker",
+        policy: RefitPolicy | None = None,
+        cache_capacity: int = 4096,
+        per_key_cache_budget: int | None = None,
+        scheduler_mode: str = "background",
+        buffer_capacity: int | None = None,
+        dispatch_threads: int = 8,
+    ) -> None:
+        self._worker = ShardWorker(
+            shard_id,
+            policy=policy,
+            cache_capacity=cache_capacity,
+            per_key_cache_budget=per_key_cache_budget,
+            scheduler_mode=scheduler_mode,
+            buffer_capacity=buffer_capacity,
+        )
+        self._listener = socket.create_server((host, port))
+        self._host, self._port = self._listener.getsockname()[:2]
+        self._pool = ThreadPoolExecutor(
+            max_workers=dispatch_threads,
+            thread_name_prefix=f"repro-net-{shard_id}",
+        )
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conn_lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bound interface."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved when constructed with port 0)."""
+        return self._port
+
+    @property
+    def shard_id(self) -> str:
+        """This worker's stable identity on the gateway's ring."""
+        return self._worker.shard_id
+
+    @property
+    def worker(self) -> ShardWorker:
+        """The hosted shard (in-thread tests, metrics, debugging)."""
+        return self._worker
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin accepting connections on a daemon thread."""
+        if self._accept_thread is not None:
+            raise NetError("worker server already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"repro-net-accept-{self.shard_id}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until :meth:`close` completes (or ``timeout`` elapses)."""
+        return self._stopped.wait(timeout)
+
+    def close(self) -> None:
+        """Stop accepting, sever connections, shut the shard down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        # shutdown() before close(): a thread blocked in accept() holds
+        # the listening socket's file description open, so close() alone
+        # would leave the port in LISTEN state until a connection
+        # arrived.  shutdown() wakes the accept immediately.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conn_lock:
+            conns = tuple(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._pool.shutdown(wait=True)
+        self._worker.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _address = self._listener.accept()
+            except OSError:
+                return  # listener closed by close()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    return
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._reader_loop,
+                args=(conn,),
+                name=f"repro-net-conn-{self.shard_id}",
+                daemon=True,
+            ).start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    message = recv_message(conn)
+                except (EOFError, NetError, OSError):
+                    return
+                if not isinstance(message, Request):
+                    return  # protocol violation; drop the connection
+                try:
+                    self._pool.submit(
+                        self._handle, conn, write_lock, message
+                    )
+                except RuntimeError:
+                    return  # pool shut down mid-accept
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle(
+        self,
+        conn: socket.socket,
+        write_lock: threading.Lock,
+        request: Request,
+    ) -> None:
+        try:
+            value = self._dispatch(request.method, request.kwargs)
+            response = Response(request.request_id, ok=True, value=value)
+        except Exception as error:
+            response = error_response(request.request_id, error)
+        with write_lock:
+            try:
+                send_message(conn, response)
+            except (OSError, NetError):
+                return  # peer went away; nothing to deliver the reply to
+        if request.method == "shutdown" and response.ok:
+            # close() joins the dispatch pool, so it must not run on a
+            # pool thread; the response is already flushed above.
+            threading.Thread(target=self.close, daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, kwargs: dict[str, Any]) -> Any:
+        handler = getattr(self, f"_do_{method}", None)
+        if handler is None:
+            raise NetError(f"unknown wire method {method!r}")
+        return handler(**kwargs)
+
+    def _do_ping(self, delay: float = 0.0) -> str:
+        if delay:
+            time.sleep(delay)
+        return "pong"
+
+    def _do_identify(self) -> dict[str, Any]:
+        return {"shard_id": self.shard_id, "host": self._host, "port": self._port}
+
+    def _do_register_model(
+        self,
+        table: str | ModelKey,
+        backend: bytes,
+        columns: Sequence[str] = (),
+        refit_backlog: bool = True,
+        initial_errors: Sequence[float] = (),
+    ) -> ModelKey:
+        return self._worker.register_model(
+            table,
+            decode_backend(backend),
+            columns=columns,
+            refit_backlog=refit_backlog,
+            initial_errors=initial_errors,
+        )
+
+    def _do_unregister_model(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bytes:
+        key = normalize_key(table, columns)
+        return encode_backend(self._worker.unregister_model(key))
+
+    def _do_register_challenger(
+        self,
+        table: str | ModelKey,
+        backend: bytes,
+        columns: Sequence[str] = (),
+        shadow_frac: float = 1.0,
+        refit_backlog: bool = True,
+        initial_errors: Sequence[float] = (),
+    ) -> ModelKey:
+        return self._worker.register_challenger(
+            table,
+            decode_backend(backend),
+            columns=columns,
+            shadow_frac=shadow_frac,
+            refit_backlog=refit_backlog,
+            initial_errors=initial_errors,
+        )
+
+    def _do_has_challenger(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bool:
+        return self._worker.has_challenger(normalize_key(table, columns))
+
+    def _do_challenger_snapshot_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bytes:
+        key = normalize_key(table, columns)
+        return encode_snapshot(self._worker.challenger_snapshot_for(key))
+
+    def _do_promote(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bytes:
+        return encode_backend(
+            self._worker.promote(normalize_key(table, columns))
+        )
+
+    def _do_model_keys(self) -> tuple[ModelKey, ...]:
+        return tuple(self._worker.model_keys())
+
+    def _do_snapshot_for(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bytes:
+        key = normalize_key(table, columns)
+        return encode_snapshot(self._worker.snapshot_for(key))
+
+    def _do_feedback_count(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> int:
+        return self._worker.feedback_count(normalize_key(table, columns))
+
+    def _do_estimate(
+        self,
+        table: str | ModelKey,
+        predicate: object,
+        columns: Sequence[str] = (),
+    ) -> float:
+        return self._worker.estimate(normalize_key(table, columns), predicate)
+
+    def _do_estimate_batch(
+        self,
+        table: str | ModelKey,
+        predicates: Sequence[object],
+        columns: Sequence[str] = (),
+    ):
+        key = normalize_key(table, columns)
+        return self._worker.estimate_batch(key, predicates)
+
+    def _do_observe(
+        self,
+        table: str | ModelKey,
+        predicate: object,
+        selectivity: float,
+        columns: Sequence[str] = (),
+    ) -> bool:
+        key = normalize_key(table, columns)
+        return self._worker.observe(key, predicate, selectivity)
+
+    def _do_refit_now(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> bytes:
+        key = normalize_key(table, columns)
+        return encode_snapshot(self._worker.refit_now(key))
+
+    def _do_flush(self, blocking: bool = True) -> int:
+        return self._worker.flush(blocking=blocking)
+
+    def _do_drain(self, timeout: float | None = None) -> None:
+        self._worker.drain(timeout)
+
+    def _do_stats(self) -> dict[str, Any]:
+        stats = self._worker.stats
+        return {
+            "shard_id": self.shard_id,
+            "counters": dict(stats.counters()),
+            "latencies": tuple(stats.latency_values()),
+            "buffer": dict(self._worker.buffer.counters()),
+            "backend_error_windows": {
+                scope: tuple(window)
+                for scope, window in stats.backend_error_windows().items()
+            },
+            "model_keys": len(self._worker.model_keys()),
+        }
+
+    def _do_migrate_out(
+        self, table: str | ModelKey, columns: Sequence[str] = ()
+    ) -> dict[str, Any]:
+        return migration_bundle(self._worker, normalize_key(table, columns))
+
+    def _do_migrate_in(self, bundle: dict[str, Any]) -> ModelKey:
+        return install_bundle(self._worker, bundle)
+
+    def _do_shutdown(self) -> str:
+        return "stopping"  # _handle closes the server after the reply
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerServer(shard_id={self.shard_id!r}, "
+            f"address=({self._host!r}, {self._port}), "
+            f"closed={self._closed})"
+        )
+
+
+def run_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    shard_id: str = "worker",
+    ready: Any | None = None,
+    run_seconds: float | None = None,
+    **config: Any,
+) -> None:
+    """Run a worker server until shutdown (child-process / CLI entry point).
+
+    ``ready`` (a pipe connection), if given, receives the bound
+    ``(host, port)`` once the server accepts traffic.  ``run_seconds``
+    bounds the lifetime for tests and smoke runs; by default the call
+    blocks until a ``shutdown`` request (or :meth:`WorkerServer.close`)
+    stops the server.
+    """
+    server = WorkerServer(host=host, port=port, shard_id=shard_id, **config)
+    server.start()
+    if ready is not None:
+        ready.send((server.host, server.port))
+        ready.close()
+    try:
+        server.wait(run_seconds)
+    finally:
+        server.close()
+
+
+class WorkerProcess:
+    """A worker server in a child interpreter (the GIL boundary).
+
+    Uses the spawn start method: the child imports fresh, so no forked
+    trainer locks, scheduler threads, or socket state come along.  The
+    constructor blocks until the child reports its bound address.
+    """
+
+    def __init__(
+        self,
+        shard_id: str = "worker",
+        host: str = "127.0.0.1",
+        start_timeout: float = 60.0,
+        **config: Any,
+    ) -> None:
+        context = multiprocessing.get_context("spawn")
+        parent, child = context.Pipe()
+        self._shard_id = shard_id
+        self._process = context.Process(
+            target=run_worker,
+            kwargs={
+                "host": host,
+                "port": 0,
+                "shard_id": shard_id,
+                "ready": child,
+                **config,
+            },
+            name=f"repro-net-worker-{shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+        try:
+            if not parent.poll(start_timeout):
+                raise WorkerUnavailableError(
+                    f"worker {shard_id!r} did not report an address within "
+                    f"{start_timeout}s"
+                )
+            self._host, self._port = parent.recv()
+        except (EOFError, OSError) as error:
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+            raise WorkerUnavailableError(
+                f"worker {shard_id!r} died before reporting an address"
+            ) from error
+        except WorkerUnavailableError:
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+            raise
+        finally:
+            parent.close()
+
+    @property
+    def shard_id(self) -> str:
+        """This worker's identity on the ring."""
+        return self._shard_id
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where the child's server is listening."""
+        return self._host, self._port
+
+    @property
+    def pid(self) -> int | None:
+        """The child's process id."""
+        return self._process.pid
+
+    @property
+    def alive(self) -> bool:
+        """True while the child process is running."""
+        return self._process.is_alive()
+
+    def request_shutdown(self, timeout: float = 30.0) -> None:
+        """Graceful stop: drain buffered feedback and refits, then exit.
+
+        Speaks the protocol directly over a short-lived connection so the
+        helper works without a gateway in the picture.
+        """
+        try:
+            with socket.create_connection(
+                (self._host, self._port), timeout=timeout
+            ) as sock:
+                sock.settimeout(timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                for request_id, method, kwargs in (
+                    (0, "drain", {"timeout": timeout}),
+                    (1, "shutdown", {}),
+                ):
+                    send_message(sock, Request(request_id, method, kwargs))
+                    recv_message(sock)
+        except (OSError, EOFError, NetError) as error:
+            raise WorkerUnavailableError(
+                f"worker {self._shard_id!r} unreachable for shutdown: {error}"
+            ) from error
+        self._process.join(timeout=timeout)
+
+    def kill(self) -> None:
+        """Hard-kill the child (fault-injection tests)."""
+        self._process.kill()
+        self._process.join(timeout=10.0)
+
+    def terminate(self) -> None:
+        """SIGTERM the child and reap it."""
+        self._process.terminate()
+        self._process.join(timeout=10.0)
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the child to exit."""
+        self._process.join(timeout)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerProcess(shard_id={self._shard_id!r}, "
+            f"address=({self._host!r}, {self._port}), alive={self.alive})"
+        )

@@ -44,3 +44,60 @@ class TestMain:
         report = main(["table3", "--scale", "small", "--rows", "5000"])
         assert "Table 3a" in report
         assert "Table 3b" in report
+
+
+class TestServeCommands:
+    def test_worker_and_serve_subcommands_parse(self):
+        parser = build_parser()
+        worker = parser.parse_args(
+            ["worker", "--port", "9000", "--shard-id", "alpha"]
+        )
+        assert worker.experiment == "worker"
+        assert worker.port == 9000
+        serve = parser.parse_args(
+            ["serve", "--worker", "a=127.0.0.1:9000", "--worker", "b=127.0.0.1:9001"]
+        )
+        assert serve.experiment == "serve"
+        assert serve.worker == ["a=127.0.0.1:9000", "b=127.0.0.1:9001"]
+
+    def test_worker_runs_bounded(self, capsys):
+        report = main(["worker", "--shard-id", "smoke", "--run-seconds", "0.2"])
+        assert report == "worker 'smoke' stopped"
+        captured = capsys.readouterr()
+        assert "worker 'smoke' serving on 127.0.0.1:" in captured.out
+
+    def test_serve_dials_an_existing_worker(self, capsys):
+        from repro.net import WorkerServer
+
+        worker = WorkerServer(shard_id="ext")
+        worker.start()
+        try:
+            report = main(
+                [
+                    "serve",
+                    "--worker",
+                    f"ext=127.0.0.1:{worker.port}",
+                    "--run-seconds",
+                    "0.2",
+                ]
+            )
+            assert report == "gateway stopped (1 worker(s))"
+            captured = capsys.readouterr()
+            assert "gateway serving on 127.0.0.1:" in captured.out
+        finally:
+            worker.close()
+
+    def test_malformed_worker_spec_rejected(self):
+        from repro.exceptions import ExperimentError
+        from repro.experiments.cli import _parse_worker_spec
+
+        assert _parse_worker_spec("a=host:12") == ("a", ("host", 12))
+        for spec in ("nohost", "a=hostonly", "a=host:nan", "=host:12"):
+            with pytest.raises(ExperimentError, match="NAME=HOST:PORT"):
+                _parse_worker_spec(spec)
+
+    def test_serve_requires_workers(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="at least one"):
+            main(["serve", "--run-seconds", "0.1"])

@@ -895,3 +895,60 @@ class TestEngineClusterWiring:
         finally:
             cluster.close()
             plain.close()
+
+
+class TestDrainBudget:
+    """drain(timeout=...) is a fleet-total budget, not per-shard."""
+
+    def _cluster_with_recording_drains(self, monkeypatch, sleep_seconds):
+        cluster = ShardedSelectivityService(
+            num_shards=3, scheduler_mode="inline", fanout_threads=False
+        )
+        received: list[float | None] = []
+        for shard_id in cluster.shard_ids:
+            worker = cluster.shard(shard_id)
+
+            def fake_drain(timeout=None, _sleep=sleep_seconds):
+                received.append(timeout)
+                time.sleep(_sleep)
+
+            monkeypatch.setattr(worker, "drain", fake_drain)
+        return cluster, received
+
+    def test_remaining_budget_shrinks_across_shards(self, monkeypatch):
+        cluster, received = self._cluster_with_recording_drains(
+            monkeypatch, sleep_seconds=0.05
+        )
+        try:
+            cluster.drain(timeout=5.0)
+        finally:
+            cluster.close()
+        assert len(received) == 3
+        assert received[0] <= 5.0
+        # Each later shard sees the budget minus the time its
+        # predecessors spent — the regression was every shard getting
+        # the full 5.0.
+        assert received[1] < received[0] - 0.04
+        assert received[2] < received[1] - 0.04
+
+    def test_exhausted_budget_raises_with_shards_left(self, monkeypatch):
+        cluster, received = self._cluster_with_recording_drains(
+            monkeypatch, sleep_seconds=0.2
+        )
+        try:
+            with pytest.raises(ServingError, match="drain budget"):
+                cluster.drain(timeout=0.3)
+        finally:
+            cluster.close()
+        # The first shards consumed the budget; at least one never ran.
+        assert 0 < len(received) < 3
+
+    def test_no_timeout_means_unbounded_everywhere(self, monkeypatch):
+        cluster, received = self._cluster_with_recording_drains(
+            monkeypatch, sleep_seconds=0.0
+        )
+        try:
+            cluster.drain()
+        finally:
+            cluster.close()
+        assert received == [None, None, None]

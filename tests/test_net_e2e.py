@@ -1,0 +1,160 @@
+"""End-to-end: a gateway over real worker child processes.
+
+The in-thread suites (``test_net_gateway.py``) cover the protocol and
+fault machinery; this file proves the same stack works when the workers
+are actual spawned interpreters — two backend families served remotely
+with in-process parity, observes crossing two process boundaries to
+drive a refit, and membership changes migrating a key between live
+processes with exact snapshot parity.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuickSelConfig
+from repro.core.quicksel import QuickSel
+from repro.estimators.registry import make_scan_based
+from repro.net import GatewayServer, WorkerProcess, connect
+from repro.serving import RefitScheduler, SelectivityService
+from repro.workloads.queries import RandomRangeQueryGenerator, labelled_feedback
+from repro.workloads.synthetic import gaussian_dataset
+
+PARITY = 1e-12
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = gaussian_dataset(2000, dimension=2, correlation=0.4, seed=31)
+    generator = RandomRangeQueryGenerator(dataset.domain, seed=32)
+    feedback = labelled_feedback(generator.generate(60), dataset.rows)
+    probes = RandomRangeQueryGenerator(dataset.domain, seed=33).generate(40)
+    return dataset, feedback, probes
+
+
+@pytest.fixture(scope="module")
+def trainers(workload):
+    """Two backend families: query-driven QuickSel + scan-based AutoHist."""
+    dataset, feedback, _ = workload
+    quicksel = QuickSel(dataset.domain, QuickSelConfig(random_seed=7))
+    quicksel.observe_many(feedback, refit=True)
+    autohist = make_scan_based(
+        "AutoHist", dataset.domain, lambda: dataset.rows
+    )
+    autohist.refresh()
+    return {"orders": quicksel, "parts": autohist}
+
+
+@pytest.fixture(scope="module")
+def fleet(trainers):
+    """A gateway over two real child-process workers, plus a client."""
+    processes = [WorkerProcess(shard_id=f"w{i}") for i in range(2)]
+    server = GatewayServer(
+        {process.shard_id: process.address for process in processes}
+    )
+    server.start()
+    client = connect(*server.address)
+    for table, trainer in trainers.items():
+        client.register_model(table, copy.deepcopy(trainer))
+    yield processes, server, client
+    client.close()
+    server.close()
+    for process in processes:
+        try:
+            process.request_shutdown()
+        except Exception:
+            process.terminate()
+
+
+@pytest.fixture(scope="module")
+def reference(trainers):
+    service = SelectivityService(scheduler=RefitScheduler("inline"))
+    for table, trainer in trainers.items():
+        service.register_model(table, copy.deepcopy(trainer))
+    yield service
+    service.close()
+
+
+class TestEndToEnd:
+    def test_both_workers_are_separate_processes(self, fleet):
+        import os
+
+        processes, _, client = fleet
+        pids = {process.pid for process in processes}
+        assert len(pids) == 2
+        assert os.getpid() not in pids
+        assert all(process.alive for process in processes)
+        assert client.worker_names() == ("w0", "w1")
+
+    def test_remote_matches_in_process_for_both_families(
+        self, fleet, reference, workload
+    ):
+        _, _, probes = workload
+        _, _, client = fleet
+        for table in ("orders", "parts"):
+            remote = client.estimate_batch(table, probes)
+            local = reference.estimate_batch(table, probes)
+            assert np.max(np.abs(remote - local)) <= PARITY
+        pairs = [
+            (table, probe)
+            for probe in probes
+            for table in ("orders", "parts")
+        ]
+        mixed = client.estimate_batch_mixed(pairs)
+        assert np.max(np.abs(mixed - reference.estimate_batch_mixed(pairs))) \
+            <= PARITY
+
+    def test_membership_change_migrates_across_processes(
+        self, fleet, workload
+    ):
+        _, _, probes = workload
+        processes, server, client = fleet
+        before = {
+            table: client.snapshot_for(table).estimate_many(probes)
+            for table in ("orders", "parts")
+        }
+        extra = WorkerProcess(shard_id="w2")
+        try:
+            client.add_worker("w2", *extra.address)
+            assert client.worker_names() == ("w0", "w1", "w2")
+            for table in ("orders", "parts"):
+                after = client.snapshot_for(table).estimate_many(probes)
+                assert np.max(np.abs(after - before[table])) <= PARITY
+            moved = client.remove_worker("w2", shutdown=True)
+            assert client.worker_names() == ("w0", "w1")
+            for table in ("orders", "parts"):
+                after = client.snapshot_for(table).estimate_many(probes)
+                assert np.max(np.abs(after - before[table])) <= PARITY
+            extra.join(timeout=30.0)
+            assert not extra.alive
+            assert moved >= 0
+        finally:
+            if extra.alive:
+                extra.terminate()
+
+    def test_fleet_stats_sees_both_processes(self, fleet):
+        _, _, client = fleet
+        view = client.fleet_stats()
+        assert view["aggregate"]["shard_count"] == 2
+        assert view["aggregate"]["model_keys"] == 2
+        assert set(view["per_shard"]) == {"w0", "w1"}
+        assert view["unreachable"] == ()
+
+    def test_observes_cross_the_boundary_and_drive_a_refit(
+        self, fleet, workload
+    ):
+        # Runs last in the module: it retrains the remote "orders" model,
+        # after which the parity fixtures above would no longer hold.
+        _, feedback, _ = workload
+        _, _, client = fleet
+        count = client.feedback_count("orders")
+        before = client.snapshot_for("orders")
+        for predicate, selectivity in feedback[:15]:
+            client.observe("orders", predicate, selectivity)
+        assert client.feedback_count("orders") == count + 15
+        after = client.refit_now("orders")
+        assert after.version > before.version
+        assert after.trained_on == count + 15
