@@ -18,6 +18,15 @@ Measures the two claims the ``repro.net`` serving gateway makes:
    refit — the process boundary is what isolates serving from training
    CPU, where a single process would share one GIL.
 
+It also maps the **clients x shards saturation surface**: independent
+client *processes* (1, 2, 4, 8) hammer mixed bursts against 1/2/4-worker
+fleets, all funnelled through the one asyncio gateway.  The sweep
+records aggregate throughput per cell and, per fleet size, the client
+count past which adding clients stops paying — the point where the
+single gateway event loop (not the workers) becomes the bottleneck.
+No wall-clock bar is asserted on the sweep (host-dependent); the
+committed ``BENCH_gateway.json`` holds the reference surface.
+
 Correctness rides along: remote mixed-batch estimates must match a plain
 ``SelectivityService`` to 1e-12 at every fleet size.
 
@@ -37,6 +46,7 @@ from __future__ import annotations
 import argparse
 import copy
 import json
+import multiprocessing
 import sys
 import threading
 import time
@@ -56,6 +66,12 @@ MIN_FLEET_ADVANTAGE = 1.2
 FLEET_SIZES = (1, 2, 4)
 #: Reads-during-refit p99 bound (full run; CI smoke skips timing bars).
 MAX_REFIT_READ_P99_SECONDS = 0.25
+#: The clients x shards saturation sweep's axes (full run).
+SATURATION_FLEET_SIZES = (1, 2, 4)
+SATURATION_CLIENT_COUNTS = (1, 2, 4, 8)
+#: A client count saturates the gateway once doubling the clients buys
+#: less than this factor in aggregate throughput.
+SATURATION_GAIN = 1.1
 
 
 # ----------------------------------------------------------------------
@@ -389,6 +405,172 @@ def run_refit_isolation_benchmark(
 
 
 # ----------------------------------------------------------------------
+# Clients x shards saturation sweep
+# ----------------------------------------------------------------------
+def _saturation_client(
+    address: tuple[str, int],
+    pairs,
+    rounds: int,
+    start_event,
+    results_queue,
+    client_id: int,
+) -> None:
+    """One client process's inner loop (module-level: spawn must pickle it).
+
+    Warms its connection, signals ready, waits for the shared start gun,
+    then hammers ``rounds`` mixed bursts and reports its wall clock.
+    """
+    client = connect(*address, timeout=120.0)
+    try:
+        client.estimate_batch_mixed(pairs)  # warm connection + caches
+        results_queue.put(("ready", client_id, 0.0, 0))
+        start_event.wait()
+        start = time.perf_counter()
+        for _ in range(rounds):
+            client.estimate_batch_mixed(pairs)
+        elapsed = time.perf_counter() - start
+        results_queue.put(("done", client_id, elapsed, rounds * len(pairs)))
+    finally:
+        client.close()
+
+
+def _measure_client_cell(
+    ctx,
+    address: tuple[str, int],
+    pairs,
+    rounds: int,
+    num_clients: int,
+) -> dict[str, float]:
+    """Aggregate throughput of ``num_clients`` concurrent client processes."""
+    start_event = ctx.Event()
+    results_queue = ctx.Queue()
+    clients = [
+        ctx.Process(
+            target=_saturation_client,
+            args=(address, pairs, rounds, start_event, results_queue, index),
+            daemon=True,
+        )
+        for index in range(num_clients)
+    ]
+    try:
+        for client in clients:
+            client.start()
+        for _ in clients:
+            kind, *_ = results_queue.get(timeout=120.0)
+            assert kind == "ready", f"client reported {kind!r} before start"
+        start_event.set()
+        elapsed: list[float] = []
+        served = 0
+        for _ in clients:
+            kind, _, seconds, estimates = results_queue.get(timeout=300.0)
+            assert kind == "done", f"client reported {kind!r} after start"
+            elapsed.append(seconds)
+            served += estimates
+        for client in clients:
+            client.join(timeout=30.0)
+    finally:
+        for client in clients:
+            if client.is_alive():
+                client.terminate()
+    # Aggregate rate over the slowest client's window: every client ran
+    # for (at least) that long, so this is the sustained fleet-wide rate.
+    wall = max(elapsed)
+    return {
+        "clients": num_clients,
+        "wall_seconds": wall,
+        "aggregate_qps": served / wall,
+        "per_client_qps": [
+            (rounds * len(pairs)) / seconds for seconds in sorted(elapsed)
+        ],
+    }
+
+
+def run_saturation_sweep(
+    num_tables: int = 8,
+    rows: int = 5_000,
+    train_queries: int = 120,
+    probes_per_table: int = 40,
+    rounds: int = 4,
+    fleet_sizes: tuple[int, ...] = SATURATION_FLEET_SIZES,
+    client_counts: tuple[int, ...] = SATURATION_CLIENT_COUNTS,
+) -> dict[str, object]:
+    """Map aggregate throughput over the clients x shards grid.
+
+    Every worker's cache is big enough to hold the whole working set, so
+    steady-state cells measure the serving path — gateway event loop,
+    wire, worker socket threads — not model math.  Per fleet size the
+    sweep reports ``saturation_clients``: the first client count past
+    which doubling clients buys less than ``SATURATION_GAIN``x aggregate
+    throughput (the single asyncio gateway running out of headroom).
+    """
+    _, tables, trainers, pairs = build_mixed_workload(
+        num_tables, rows, train_queries, probes_per_table, seed=42
+    )
+    ctx = multiprocessing.get_context("spawn")
+    cache_capacity = len(pairs) + 16  # every worker can cache everything
+    grid: dict[str, dict[str, object]] = {}
+    for num_workers in fleet_sizes:
+        processes = [
+            WorkerProcess(
+                shard_id=f"w{index}",
+                cache_capacity=cache_capacity,
+                scheduler_mode="inline",
+            )
+            for index in range(num_workers)
+        ]
+        server = None
+        try:
+            server = GatewayServer(
+                {process.shard_id: process.address for process in processes},
+                request_timeout=120.0,
+            )
+            server.start()
+            setup = connect(*server.address, timeout=120.0)
+            for table, trainer in trainers.items():
+                setup.register_model(table, copy.deepcopy(trainer))
+            setup.estimate_batch_mixed(pairs)  # populate worker caches
+            cells = [
+                _measure_client_cell(
+                    ctx, server.address, pairs, rounds, num_clients
+                )
+                for num_clients in client_counts
+            ]
+            setup.close()
+        finally:
+            if server is not None:
+                server.close()
+            for process in processes:
+                try:
+                    process.request_shutdown(timeout=10.0)
+                except Exception:
+                    process.terminate()
+        saturation = max(client_counts)
+        for previous, cell in zip(cells, cells[1:]):
+            gain = cell["aggregate_qps"] / previous["aggregate_qps"]
+            if gain < SATURATION_GAIN:
+                saturation = previous["clients"]
+                break
+        peak = max(cells, key=lambda cell: cell["aggregate_qps"])
+        grid[str(num_workers)] = {
+            "cells": cells,
+            "saturation_clients": saturation,
+            "peak_aggregate_qps": peak["aggregate_qps"],
+            "peak_clients": peak["clients"],
+            "scaling_vs_one_client": peak["aggregate_qps"]
+            / cells[0]["aggregate_qps"],
+        }
+    return {
+        "tables": num_tables,
+        "predicates_per_round": len(pairs),
+        "rounds_per_client": rounds,
+        "client_counts": list(client_counts),
+        "fleet_sizes": list(fleet_sizes),
+        "saturation_gain_threshold": SATURATION_GAIN,
+        "fleets": grid,
+    }
+
+
+# ----------------------------------------------------------------------
 # Reporting
 # ----------------------------------------------------------------------
 def run_gateway_benchmark(quick: bool = False) -> dict[str, object]:
@@ -413,10 +595,24 @@ def run_gateway_benchmark(quick: bool = False) -> dict[str, object]:
             max_samples=400,
             check_bound=False,
         )
+        saturation = run_saturation_sweep(
+            num_tables=4,
+            rows=3_000,
+            train_queries=60,
+            probes_per_table=20,
+            rounds=2,
+            fleet_sizes=(1, 2),
+            client_counts=(1, 2),
+        )
     else:
         throughput = run_throughput_benchmark()
         isolation = run_refit_isolation_benchmark()
-    return {"throughput": throughput, "reads_during_remote_refit": isolation}
+        saturation = run_saturation_sweep()
+    return {
+        "throughput": throughput,
+        "reads_during_remote_refit": isolation,
+        "saturation_sweep": saturation,
+    }
 
 
 def render_report(results: dict[str, object]) -> str:
@@ -459,6 +655,25 @@ def render_report(results: dict[str, object]) -> str:
         f"max {during['max_seconds'] * 1e3:7.1f} ms "
         f"(bar: p99 < {MAX_REFIT_READ_P99_SECONDS * 1e3:.0f} ms)"
     )
+    sweep = results["saturation_sweep"]
+    lines.append(
+        f"clients x shards saturation sweep "
+        f"({sweep['predicates_per_round']} mixed predicates/round, "
+        f"clients {sweep['client_counts']})"
+    )
+    for size in sorted(sweep["fleets"], key=int):
+        fleet = sweep["fleets"][size]
+        cells = "  ".join(
+            f"{cell['clients']}c {cell['aggregate_qps']:>8.0f}/s"
+            for cell in fleet["cells"]
+        )
+        lines.append(
+            f"  {size} worker{'s' if int(size) > 1 else ' '}  {cells}  "
+            f"-> saturates at {fleet['saturation_clients']} client"
+            f"{'s' if fleet['saturation_clients'] > 1 else ''} "
+            f"(peak {fleet['peak_aggregate_qps']:.0f}/s, "
+            f"{fleet['scaling_vs_one_client']:.2f}x one client)"
+        )
     return "\n".join(lines)
 
 
@@ -488,6 +703,18 @@ def test_reads_bounded_during_remote_refit(benchmark):
         "during_refit"
     ]["p99_seconds"]
     benchmark.extra_info["refit_seconds"] = results["refit_seconds"]
+
+
+def test_gateway_saturation_sweep(benchmark):
+    """Multi-client processes map where the asyncio gateway saturates."""
+    results = benchmark.pedantic(run_saturation_sweep, rounds=1, iterations=1)
+    for size, fleet in results["fleets"].items():
+        benchmark.extra_info[f"saturation_clients_{size}_workers"] = fleet[
+            "saturation_clients"
+        ]
+        benchmark.extra_info[f"peak_qps_{size}_workers"] = fleet[
+            "peak_aggregate_qps"
+        ]
 
 
 # ----------------------------------------------------------------------

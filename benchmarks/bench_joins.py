@@ -1,0 +1,284 @@
+"""Join estimation benchmark: sandwiched learned models vs independence.
+
+The experiment the join subsystem exists for.  Two tables with
+power-law-skewed join keys and filter columns *correlated* with those
+keys (see :mod:`repro.workloads.joins`) are served by one
+:class:`~repro.serving.service.SelectivityService`: a per-table QuickSel
+model each, plus one per-join-key QuickSel model over the joint domain.
+A training stream of join queries runs through the executor's hash
+join, whose feedback trains all three models at once — the per-table
+filters through the ordinary feedback loop, the observed join
+selectivity through :class:`~repro.joins.feedback.JoinFeedbackLoop`.
+
+On a held-out query set the benchmark then compares, against exact
+hash-join truth:
+
+* **independence** — the textbook
+  ``|σL|·|σR| / max(V(L), V(R))`` estimate off the served per-table
+  models (what the optimizer had before this subsystem), and
+* **sandwiched learned** — the served join model's estimate clamped
+  into ``[floor, UB]`` by the pessimistic MCV bounds.
+
+Assertions (the acceptance bar):
+
+* the sandwiched estimate **never exceeds the pessimistic upper bound**
+  (asserted in ``--quick`` too — it is the sandwich's invariant);
+* on the full run, the sandwiched learned estimator **beats the
+  independence baseline on median q-error** for the skewed workload.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_joins.py --benchmark-only`` — serving
+  latency of the sandwiched batch path under pytest-benchmark, or
+* ``python benchmarks/bench_joins.py [--quick] [--json PATH]`` —
+  standalone accuracy run (used by CI with ``--quick``); the full run's
+  results are committed as ``BENCH_joins.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import QuickSelConfig
+from repro.core.quicksel import QuickSel
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.feedback import FeedbackLoop
+from repro.joins import (
+    JoinBoundSketch,
+    JoinFeedbackLoop,
+    JoinSpec,
+    SandwichedJoinEstimator,
+    register_join_model,
+    sandwiched_batch,
+)
+from repro.serving.service import SelectivityService
+from repro.workloads.joins import JoinQueryGenerator, skewed_join_tables
+
+FULL_CONFIG = {
+    "left_rows": 4000,
+    "right_rows": 2000,
+    "distinct_keys": 64,
+    "skew": 1.2,
+    "train_queries": 600,
+    "test_queries": 150,
+    "max_subpopulations": 256,
+}
+QUICK_CONFIG = {
+    "left_rows": 600,
+    "right_rows": 400,
+    "distinct_keys": 24,
+    "skew": 1.2,
+    "train_queries": 80,
+    "test_queries": 25,
+    "max_subpopulations": 64,
+}
+
+#: Floating-point headroom on the "never exceeds UB" invariant.
+BOUND_EPSILON = 1e-6
+
+
+def q_error(estimate: float, truth: float) -> float:
+    """Symmetric ratio error with both sides floored at one row."""
+    estimate = max(float(estimate), 1.0)
+    truth = max(float(truth), 1.0)
+    return max(estimate / truth, truth / estimate)
+
+
+def _percentiles(errors: list[float]) -> dict[str, float]:
+    values = np.array(errors)
+    return {
+        "median": float(np.percentile(values, 50.0)),
+        "p90": float(np.percentile(values, 90.0)),
+        "max": float(values.max()),
+        "mean": float(values.mean()),
+    }
+
+
+def run_join_accuracy_benchmark(quick: bool = False) -> dict[str, object]:
+    """Train the stack on executed joins; score held-out q-errors."""
+    config = QUICK_CONFIG if quick else FULL_CONFIG
+    left, right = skewed_join_tables(
+        left_rows=config["left_rows"],
+        right_rows=config["right_rows"],
+        distinct_keys=config["distinct_keys"],
+        skew=config["skew"],
+        seed=7,
+    )
+    executor = Executor()
+    executor.register_table(left)
+    executor.register_table(right)
+
+    service = SelectivityService()
+    model_config = QuickSelConfig(
+        max_subpopulations=config["max_subpopulations"]
+    )
+    feedback = FeedbackLoop(executor, Catalog())
+    feedback.register_service(
+        left.name, service, QuickSel(left.schema.domain(), model_config)
+    )
+    feedback.register_service(
+        right.name, service, QuickSel(right.schema.domain(), model_config)
+    )
+
+    spec = JoinSpec(left.name, "k", right.name, "k")
+    register_join_model(
+        service, spec, left.schema.domain(), right.schema.domain(), model_config
+    )
+    left_sketch = JoinBoundSketch.from_table(left, "k")
+    right_sketch = JoinBoundSketch.from_table(right, "k")
+    estimator = SandwichedJoinEstimator(
+        spec,
+        service,
+        left_sketch,
+        right_sketch,
+        left.schema.dimension,
+        right.schema.dimension,
+    )
+    join_feedback = JoinFeedbackLoop(executor)
+    join_feedback.register_estimator(estimator)
+
+    generator = JoinQueryGenerator(left, right, seed=11)
+    train_start = time.perf_counter()
+    for query in generator.generate(config["train_queries"]):
+        executor.execute_join(query)
+    for key in service.model_keys():
+        service.refit_now(key)
+    train_seconds = time.perf_counter() - train_start
+
+    test_generator = JoinQueryGenerator(left, right, seed=97)
+    test_queries = test_generator.generate(config["test_queries"])
+    cross = float(left.row_count * right.row_count)
+
+    serve_start = time.perf_counter()
+    estimates = sandwiched_batch(
+        [
+            (estimator, query.left.predicate, query.right.predicate)
+            for query in test_queries
+        ]
+    )
+    serve_seconds = time.perf_counter() - serve_start
+
+    sandwich_errors: list[float] = []
+    independence_errors: list[float] = []
+    bound_violations = 0
+    provable_violations = 0
+    truth_rows: list[float] = []
+    for query, estimate in zip(test_queries, estimates):
+        truth = executor.true_join_selectivity(query) * cross
+        truth_rows.append(truth)
+        sandwich_errors.append(q_error(estimate.estimated_rows, truth))
+        independence_errors.append(q_error(estimate.independence_rows, truth))
+        # The served estimate must respect its own sandwich.
+        if estimate.estimated_rows > estimate.upper_bound + BOUND_EPSILON:
+            bound_violations += 1
+        # The *provable* bound takes exact filtered side cardinalities
+        # (the served sandwich uses estimated ones, so it guards the
+        # estimate, not the truth); the truth must never exceed it.
+        true_left = executor.true_selectivity(query.left) * left.row_count
+        true_right = executor.true_selectivity(query.right) * right.row_count
+        provable = left_sketch.upper_bound_with(
+            right_sketch, true_left, true_right
+        )
+        if truth > provable + BOUND_EPSILON:
+            provable_violations += 1
+    service.drain()
+    stats = service.stats.counters()
+    service.close()
+
+    sandwich = _percentiles(sandwich_errors)
+    independence = _percentiles(independence_errors)
+    results: dict[str, object] = {
+        "config": dict(config),
+        "quick": quick,
+        "join_key": str(spec.model_key),
+        "train_seconds": train_seconds,
+        "serve_seconds": serve_seconds,
+        "test_queries": len(test_queries),
+        "true_rows_median": float(np.median(truth_rows)),
+        "sandwiched_q_error": sandwich,
+        "independence_q_error": independence,
+        "median_improvement": independence["median"] / sandwich["median"],
+        "bound_violations": bound_violations,
+        "provable_bound_violations": provable_violations,
+        "sandwich_counters": {
+            name: count
+            for name, count in stats.items()
+            if name.startswith("sandwich")
+        },
+    }
+
+    assert bound_violations == 0, (
+        f"{bound_violations} served estimates exceeded their own sandwich "
+        "upper bound — the clamp is broken"
+    )
+    assert provable_violations == 0, (
+        f"{provable_violations} true join sizes exceeded the provable "
+        "(exact-cardinality) upper bound — the MCV bound is unsound"
+    )
+    if not quick:
+        assert sandwich["median"] < independence["median"], (
+            f"sandwiched learned median q-error {sandwich['median']:.2f} did "
+            f"not beat independence {independence['median']:.2f}"
+        )
+    return results
+
+
+def render_report(results: dict[str, object]) -> str:
+    sandwich = results["sandwiched_q_error"]
+    independence = results["independence_q_error"]
+    lines = [
+        "join estimation benchmark",
+        "=" * 60,
+        f"join key: {results['join_key']}",
+        f"train: {results['config']['train_queries']} joins in "
+        f"{results['train_seconds']:.1f}s; "
+        f"serve: {results['test_queries']} sandwiched estimates in "
+        f"{results['serve_seconds'] * 1000:.1f}ms",
+        "",
+        f"{'':24s}{'median':>10s}{'p90':>10s}{'max':>10s}",
+        f"{'sandwiched learned':24s}{sandwich['median']:>10.2f}"
+        f"{sandwich['p90']:>10.2f}{sandwich['max']:>10.2f}",
+        f"{'independence':24s}{independence['median']:>10.2f}"
+        f"{independence['p90']:>10.2f}{independence['max']:>10.2f}",
+        "",
+        f"median q-error improvement: "
+        f"{results['median_improvement']:.2f}x",
+        f"sandwich violations: {results['bound_violations']}; "
+        f"provable-bound violations: {results['provable_bound_violations']}",
+        f"sandwich counters: {results['sandwich_counters']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (asserts the sandwich "
+        "invariant; skips the accuracy-win bar)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the results dict as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    results = run_join_accuracy_benchmark(quick=args.quick)
+    print(render_report(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
+    print("join benchmark: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

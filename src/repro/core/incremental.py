@@ -418,7 +418,9 @@ class IncrementalTrainer:
         build_start = time.perf_counter()
         if self._config.incremental_training and observed > self._anchored:
             fresh = min(observed - self._anchored, len(queries))
-            self._feed_reservoir(queries[len(queries) - fresh :], rng)
+            self._feed_reservoir(
+                queries[len(queries) - fresh :], rng, observed - fresh
+            )
             self._anchored = observed
 
         try:
@@ -444,9 +446,12 @@ class IncrementalTrainer:
     # Internals: policy
     # ------------------------------------------------------------------
     def _feed_reservoir(
-        self, new_queries: Sequence[ObservedQuery], rng: np.random.Generator
+        self,
+        new_queries: Sequence[ObservedQuery],
+        rng: np.random.Generator,
+        first_index: int,
     ) -> None:
-        for query in new_queries:
+        for offset, query in enumerate(new_queries):
             region = query.region
             if region.is_empty:
                 continue
@@ -454,7 +459,7 @@ class IncrementalTrainer:
                 self._config.points_per_predicate, rng
             )
             if points.shape[0]:
-                self._reservoir.add(points, rng)
+                self._reservoir.add(points, rng, birth=first_index + offset)
 
     def _needs_rebuild(self, observed: int) -> bool:
         if not self._config.incremental_training:
@@ -533,6 +538,16 @@ class IncrementalTrainer:
             # Seed-pipeline behaviour: re-sample anchors from every
             # observed region on each refit.
             return self._builder.build([q.region for q in queries], rng)
+        if self._config.windowed:
+            # Centre rebuilds must anchor on the live window, not
+            # lifetime history: expire reservoir points whose query fell
+            # out of the window.  If eviction empties the reservoir
+            # (e.g. a long gap between fits aged everything out),
+            # re-seed it from the live queries so the rebuild — and
+            # Algorithm R from here on — starts from the window.
+            self._reservoir.evict_before(observed - len(queries))
+            if len(self._reservoir) == 0:
+                self._feed_reservoir(queries, rng, observed - len(queries))
         anchors = self._reservoir.points()
         if anchors.shape[0] == 0:
             raise TrainingError("no non-empty predicate regions to anchor on")

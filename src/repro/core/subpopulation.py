@@ -79,6 +79,14 @@ class AnchorReservoir:
     Vitter's Algorithm R (vectorised per batch), so after any number of
     :meth:`add` calls the kept points are a uniform sample of everything
     seen.
+
+    Under a training window the lifetime sample is the wrong population:
+    centre rebuilds would keep anchoring on queries that expired long
+    ago.  :meth:`add` therefore accepts an optional *birth* index (the
+    absolute stream index of the query the points came from) and
+    :meth:`evict_before` drops every point born before a cutoff,
+    restarting Algorithm R over the survivors so the sample tracks the
+    live window rather than lifetime history.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -86,6 +94,7 @@ class AnchorReservoir:
             raise TrainingError("reservoir capacity must be >= 1")
         self._capacity = capacity
         self._points: np.ndarray | None = None
+        self._births: np.ndarray | None = None
         self._count = 0
         self._seen = 0
 
@@ -102,8 +111,19 @@ class AnchorReservoir:
     def __len__(self) -> int:
         return self._count
 
-    def add(self, points: np.ndarray, rng: np.random.Generator) -> None:
-        """Offer a ``(k, d)`` batch of anchor points to the reservoir."""
+    def add(
+        self,
+        points: np.ndarray,
+        rng: np.random.Generator,
+        birth: int | None = None,
+    ) -> None:
+        """Offer a ``(k, d)`` batch of anchor points to the reservoir.
+
+        ``birth`` is the absolute stream index of the query the points
+        were sampled from; :meth:`evict_before` uses it to expire points
+        with the training window.  Points added without a birth count as
+        infinitely old — the first eviction clears them.
+        """
         batch = np.asarray(points, dtype=float)
         if batch.ndim != 2:
             raise TrainingError(
@@ -113,15 +133,20 @@ class AnchorReservoir:
             return
         if self._points is None:
             self._points = np.empty((self._capacity, batch.shape[1]))
+            self._births = np.full(self._capacity, -np.inf)
         elif batch.shape[1] != self._points.shape[1]:
             raise TrainingError(
                 f"anchor dimension {batch.shape[1]} does not match reservoir "
                 f"dimension {self._points.shape[1]}"
             )
+        batch_birth = -np.inf if birth is None else float(birth)
         free = self._capacity - self._count
         head = batch[:free]
         if head.shape[0]:
             self._points[self._count : self._count + head.shape[0]] = head
+            self._births[self._count : self._count + head.shape[0]] = (
+                batch_birth
+            )
             self._count += head.shape[0]
             self._seen += head.shape[0]
         tail = batch[free:]
@@ -135,13 +160,42 @@ class AnchorReservoir:
             slots = rng.integers(0, self._capacity, size=tail.shape[0])
             if accept.any():
                 self._points[slots[accept]] = tail[accept]
+                self._births[slots[accept]] = batch_birth
             self._seen += tail.shape[0]
+
+    def evict_before(self, cutoff: int) -> int:
+        """Drop points whose query expired out of the training window.
+
+        Compacts the surviving points (birth ``>= cutoff``) forward in
+        place and restarts Algorithm R over them — ``seen`` resets to
+        the survivor count, so subsequent :meth:`add` batches compete as
+        a fresh stream over the live window rather than being discounted
+        by lifetime history.  Returns the number of points evicted.
+        """
+        if self._points is None or self._count == 0:
+            return 0
+        live = self._births[: self._count] >= cutoff
+        evicted = int(self._count - live.sum())
+        if evicted == 0:
+            return 0
+        survivors = int(live.sum())
+        self._points[:survivors] = self._points[: self._count][live]
+        self._births[:survivors] = self._births[: self._count][live]
+        self._count = survivors
+        self._seen = survivors
+        return evicted
 
     def points(self) -> np.ndarray:
         """A copy of the retained anchor points, ``(len(self), d)``."""
         if self._points is None:
             return np.zeros((0, 0))
         return self._points[: self._count].copy()
+
+    def births(self) -> np.ndarray:
+        """A copy of each retained point's birth index (``-inf`` if none)."""
+        if self._births is None:
+            return np.zeros(0)
+        return self._births[: self._count].copy()
 
 
 class SubpopulationBuilder:

@@ -18,13 +18,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.predicate import Predicate
-from repro.engine.query import Query
+from repro.engine.query import JoinQuery, Query
 from repro.engine.table import Table
 from repro.exceptions import SchemaError
 
-__all__ = ["ExecutionResult", "Executor"]
+__all__ = ["ExecutionResult", "Executor", "JoinExecutionResult"]
 
 FeedbackListener = Callable[[str, Predicate, float], None]
+JoinFeedbackListener = Callable[[JoinQuery, "JoinExecutionResult"], None]
 
 
 @dataclass(frozen=True)
@@ -46,12 +47,36 @@ class ExecutionResult:
     elapsed_seconds: float
 
 
+@dataclass(frozen=True)
+class JoinExecutionResult:
+    """Outcome of executing one equi-join query via a hash join.
+
+    ``join_selectivity`` is normalised by the *unfiltered* cross product
+    ``left_rows · right_rows`` — the quantity a learned join model over
+    the joint (left ++ right) domain predicts, so it can be fed to the
+    serving stack as ordinary ``(predicate, selectivity)`` feedback.
+    """
+
+    left_table: str
+    right_table: str
+    left_rows: int
+    right_rows: int
+    left_matching: int
+    right_matching: int
+    left_selectivity: float
+    right_selectivity: float
+    join_rows: int
+    join_selectivity: float
+    elapsed_seconds: float
+
+
 class Executor:
     """Evaluates predicates against registered tables."""
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._listeners: list[FeedbackListener] = []
+        self._join_listeners: list[JoinFeedbackListener] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -70,6 +95,17 @@ class Executor:
     def add_feedback_listener(self, listener: FeedbackListener) -> None:
         """Register a callback invoked with (table, predicate, selectivity)."""
         self._listeners.append(listener)
+
+    def add_join_feedback_listener(
+        self, listener: JoinFeedbackListener
+    ) -> None:
+        """Register a callback invoked with (join query, join result).
+
+        Fired by :meth:`execute_join` after the per-side filter feedback,
+        so join-model learning (see :mod:`repro.joins.feedback`) rides
+        the same executed traffic the single-table estimators learn from.
+        """
+        self._join_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Execution
@@ -106,3 +142,98 @@ class Executor:
         if rows.shape[0] == 0:
             return 0.0
         return float(query.predicate.matches(rows).mean())
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def execute_join(self, query: JoinQuery) -> JoinExecutionResult:
+        """Run an equi-join query: exact hash join plus feedback.
+
+        Emits *two* kinds of feedback from one execution: each side's
+        filter selectivity through the ordinary per-table listeners
+        (the single-table models keep learning from join traffic), and
+        the ``(query, result)`` pair through the join listeners, whose
+        ``join_selectivity`` trains per-join-key models.
+        """
+        result = self._run_join(query)
+        for listener in self._listeners:
+            listener(
+                query.left.table_name,
+                query.left.predicate,
+                result.left_selectivity,
+            )
+            listener(
+                query.right.table_name,
+                query.right.predicate,
+                result.right_selectivity,
+            )
+        for join_listener in self._join_listeners:
+            join_listener(query, result)
+        return result
+
+    def true_join_selectivity(self, query: JoinQuery) -> float:
+        """Exact cross-product-normalised join selectivity, no feedback."""
+        return self._run_join(query).join_selectivity
+
+    def _run_join(self, query: JoinQuery) -> JoinExecutionResult:
+        left_table = self.table(query.left.table_name)
+        right_table = self.table(query.right.table_name)
+        for table, key, side in (
+            (left_table, query.left_key, "left"),
+            (right_table, query.right_key, "right"),
+        ):
+            if key not in table.schema.column_names:
+                raise SchemaError(
+                    f"unknown {side} join key {key!r} on table {table.name!r}"
+                )
+        left_rows = left_table.rows()
+        right_rows = right_table.rows()
+        start = time.perf_counter()
+        left_matching = right_matching = join_rows = 0
+        if left_rows.shape[0] and right_rows.shape[0]:
+            left_mask = query.left.predicate.matches(left_rows)
+            right_mask = query.right.predicate.matches(right_rows)
+            left_matching = int(np.count_nonzero(left_mask))
+            right_matching = int(np.count_nonzero(right_mask))
+            if left_matching and right_matching:
+                left_keys = left_rows[
+                    left_mask, left_table.schema.column_index(query.left_key)
+                ]
+                right_keys = right_rows[
+                    right_mask,
+                    right_table.schema.column_index(query.right_key),
+                ]
+                left_unique, left_counts = np.unique(
+                    left_keys, return_counts=True
+                )
+                right_unique, right_counts = np.unique(
+                    right_keys, return_counts=True
+                )
+                _, left_idx, right_idx = np.intersect1d(
+                    left_unique, right_unique, return_indices=True
+                )
+                if left_idx.size:
+                    join_rows = int(
+                        np.dot(left_counts[left_idx], right_counts[right_idx])
+                    )
+        elapsed = time.perf_counter() - start
+        left_count = int(left_rows.shape[0])
+        right_count = int(right_rows.shape[0])
+        cross = left_count * right_count
+        return JoinExecutionResult(
+            left_table=left_table.name,
+            right_table=right_table.name,
+            left_rows=left_count,
+            right_rows=right_count,
+            left_matching=left_matching,
+            right_matching=right_matching,
+            left_selectivity=(
+                left_matching / left_count if left_count else 0.0
+            ),
+            right_selectivity=(
+                right_matching / right_count if right_count else 0.0
+            ),
+            join_rows=join_rows,
+            join_selectivity=join_rows / cross if cross else 0.0,
+            elapsed_seconds=elapsed,
+        )

@@ -46,6 +46,7 @@ __all__ = [
     "CostModel",
     "PlanChoice",
     "AccessPathOptimizer",
+    "plan_join_tree",
     "plan_many_tables",
 ]
 
@@ -264,3 +265,23 @@ def plan_many_tables(
     if missing:
         raise AssertionError(f"plan slots {missing} were never filled")
     return [plan for plan in plans if plan is not None]
+
+
+def plan_join_tree(estimators, predicates=None):
+    """Order a 3+-table join tree by sandwiched cardinalities.
+
+    ``estimators`` are the query's join edges
+    (:class:`~repro.joins.estimator.SandwichedJoinEstimator`, all on one
+    serving backend); ``predicates`` maps table name to its local
+    filter.  All edges' per-table and join-model lookups travel in a
+    single ``estimate_batch_mixed`` burst; edges without a registered
+    join model fall back to the independence formula, clamped by the
+    same pessimistic bounds.  Returns a
+    :class:`~repro.joins.planner.JoinTreePlan`.
+
+    Imported lazily: the joins subsystem sits above the engine, and the
+    optimizer only reaches up when a caller actually plans a join tree.
+    """
+    from repro.joins.planner import JoinTreePlanner
+
+    return JoinTreePlanner(estimators).plan(predicates)

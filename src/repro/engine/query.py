@@ -26,7 +26,7 @@ from repro.core.predicate import (
 from repro.engine.schema import ColumnType, Schema
 from repro.exceptions import PredicateError
 
-__all__ = ["Query", "QueryBuilder"]
+__all__ = ["JoinQuery", "Query", "QueryBuilder"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,29 @@ class Query:
     def __repr__(self) -> str:
         label = self.description or repr(self.predicate)
         return f"Query(table={self.table_name!r}, predicate={label})"
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """An equi-join COUNT query: two filtered sides joined on one key each.
+
+    ``left``/``right`` carry each side's table and local filter (use a
+    :class:`~repro.core.predicate.TruePredicate` for an unfiltered
+    side); ``left_key``/``right_key`` name the join columns.
+    """
+
+    left: Query
+    right: Query
+    left_key: str
+    right_key: str
+    description: str = ""
+
+    def __repr__(self) -> str:
+        label = self.description or (
+            f"{self.left.table_name}.{self.left_key} = "
+            f"{self.right.table_name}.{self.right_key}"
+        )
+        return f"JoinQuery({label})"
 
 
 class QueryBuilder:

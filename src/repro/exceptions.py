@@ -19,6 +19,7 @@ __all__ = [
     "ExperimentError",
     "ServingError",
     "ClusterError",
+    "JoinError",
     "NetError",
     "RemoteTimeoutError",
     "WorkerUnavailableError",
@@ -68,6 +69,10 @@ class ServingError(ReproError):
 
 class ClusterError(ReproError):
     """The sharded serving cluster was misconfigured or misused."""
+
+
+class JoinError(ReproError):
+    """The join-estimation subsystem was misconfigured or misused."""
 
 
 class NetError(ReproError):

@@ -1,0 +1,45 @@
+"""Join-aware estimation: learned per-join-key models, pessimistically
+sandwiched, served through the ordinary snapshot fleet.
+
+See :mod:`repro.joins.spec` for how a join becomes "just another model
+key", :mod:`repro.joins.sketch` for the provable MCV upper bounds,
+:mod:`repro.joins.estimator` for the sandwich itself,
+:mod:`repro.joins.feedback` for learning from executed joins, and
+:mod:`repro.joins.planner` for greedy join-tree ordering off one batch
+burst.
+"""
+
+from repro.joins.estimator import (
+    SandwichedJoinEstimate,
+    SandwichedJoinEstimator,
+    register_join_model,
+    sandwiched_batch,
+)
+from repro.joins.feedback import JoinFeedbackLoop
+from repro.joins.planner import JoinStep, JoinTreePlan, JoinTreePlanner
+from repro.joins.sketch import JoinBoundSketch, pessimistic_upper_bound
+from repro.joins.spec import (
+    JOIN_SEPARATOR,
+    JoinSpec,
+    join_model_key,
+    parse_join_key,
+    shift_predicate,
+)
+
+__all__ = [
+    "JOIN_SEPARATOR",
+    "JoinBoundSketch",
+    "JoinFeedbackLoop",
+    "JoinSpec",
+    "JoinStep",
+    "JoinTreePlan",
+    "JoinTreePlanner",
+    "SandwichedJoinEstimate",
+    "SandwichedJoinEstimator",
+    "join_model_key",
+    "parse_join_key",
+    "pessimistic_upper_bound",
+    "register_join_model",
+    "sandwiched_batch",
+    "shift_predicate",
+]

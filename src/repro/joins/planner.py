@@ -1,0 +1,226 @@
+"""Join-tree ordering by sandwiched cardinalities.
+
+:class:`JoinTreePlanner` orders a 3+-table equi-join query greedily
+(greedy operator ordering): every join edge's cardinality is estimated
+up front — all edges in **one** ``estimate_batch_mixed`` burst via
+:func:`~repro.joins.estimator.sandwiched_batch` — and the planner then
+repeatedly merges the pair of relations (or partial join results) with
+the smallest estimated joined size.  Edges whose joins have learned
+models use the sandwiched learned estimate; edges without fall back to
+the independence formula, clamped by the same pessimistic bounds —
+the fallback the tentpole requires is simply the estimator's own.
+
+Partial-result sizes are propagated multiplicatively: each edge carries
+a selectivity factor ``est_rows / (|σL|·|σR|)``, and the size of merging
+two clusters is ``size(A) · size(B) · ∏ factor(crossing edges)`` — the
+textbook GOO recurrence.  Disconnected clusters merge as cross products
+(factor 1), deferred naturally because they are the largest candidates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.predicate import Predicate
+from repro.exceptions import JoinError
+from repro.joins.estimator import (
+    SandwichedJoinEstimate,
+    SandwichedJoinEstimator,
+    sandwiched_batch,
+)
+from repro.joins.spec import JoinSpec
+
+__all__ = ["JoinStep", "JoinTreePlan", "JoinTreePlanner"]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One merge in the greedy join order.
+
+    ``specs`` lists the join edges this merge applies (empty for a pure
+    cross product between disconnected clusters).
+    """
+
+    left_tables: tuple[str, ...]
+    right_tables: tuple[str, ...]
+    specs: tuple[JoinSpec, ...]
+    estimated_rows: float
+
+    @property
+    def joined_tables(self) -> tuple[str, ...]:
+        return self.left_tables + self.right_tables
+
+    @property
+    def is_cross_product(self) -> bool:
+        return not self.specs
+
+
+@dataclass(frozen=True)
+class JoinTreePlan:
+    """A full greedy join order plus the edge estimates that drove it."""
+
+    steps: tuple[JoinStep, ...]
+    edge_estimates: tuple[tuple[JoinSpec, SandwichedJoinEstimate], ...]
+    estimated_rows: float
+
+    @property
+    def join_order(self) -> tuple[str, ...]:
+        """Tables in the order the plan folds them in.
+
+        A later step can introduce a base table on *either* side of the
+        merge (its left cluster need not contain earlier steps' tables),
+        so both sides are walked.
+        """
+        order: list[str] = []
+        for step in self.steps:
+            order.extend(
+                table for table in step.joined_tables if table not in order
+            )
+        return tuple(order)
+
+
+class JoinTreePlanner:
+    """Greedy operator ordering over sandwiched join estimates."""
+
+    def __init__(self, estimators: Sequence[SandwichedJoinEstimator]) -> None:
+        """``estimators`` are the query's join edges, one per join key pair.
+
+        All must share one serving backend so the planning burst is a
+        single mixed batch.  Two edges over the same canonical join are
+        rejected — the graph would double-count their selectivity.
+        """
+        if not estimators:
+            raise JoinError("a join tree needs at least one join edge")
+        service = estimators[0].service
+        seen: set[str] = set()
+        for estimator in estimators:
+            if estimator.service is not service:
+                raise JoinError(
+                    "all join edges must share one serving backend"
+                )
+            key = str(estimator.join_key)
+            if key in seen:
+                raise JoinError(f"duplicate join edge {estimator.spec}")
+            seen.add(key)
+        self._estimators = tuple(estimators)
+        self._tables = tuple(
+            dict.fromkeys(
+                table
+                for estimator in estimators
+                for table in estimator.spec.tables
+            )
+        )
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Every table named by some join edge."""
+        return self._tables
+
+    def plan(
+        self, predicates: Mapping[str, Predicate] | None = None
+    ) -> JoinTreePlan:
+        """Order the join tree for the given per-table filter predicates.
+
+        ``predicates`` maps table name to its local filter (missing
+        tables are unfiltered).  Issues exactly one
+        ``estimate_batch_mixed`` burst for every edge's per-table and
+        join-model lookups, then runs greedy ordering on the results.
+        """
+        predicates = predicates or {}
+        for table in predicates:
+            if table not in self._tables:
+                raise JoinError(
+                    f"predicate for {table!r} matches no join edge"
+                )
+        requests = [
+            (
+                estimator,
+                predicates.get(estimator.spec.left_table),
+                predicates.get(estimator.spec.right_table),
+            )
+            for estimator in self._estimators
+        ]
+        estimates = sandwiched_batch(requests)
+
+        # Filtered base-table sizes: every edge estimate reports its two
+        # sides' cardinalities off the same served per-table models, so
+        # any incident edge's number is the table's number.
+        sizes: dict[frozenset[str], float] = {}
+        table_rows: dict[str, float] = {}
+        factors: list[tuple[frozenset[str], JoinSpec, float]] = []
+        for estimator, estimate in zip(self._estimators, estimates):
+            spec = estimator.spec
+            table_rows.setdefault(spec.left_table, estimate.left_rows)
+            table_rows.setdefault(spec.right_table, estimate.right_rows)
+            cross = estimate.left_rows * estimate.right_rows
+            factor = estimate.estimated_rows / cross if cross > 0 else 0.0
+            factors.append(
+                (frozenset((spec.left_table, spec.right_table)), spec, factor)
+            )
+        clusters: list[frozenset[str]] = [
+            frozenset((table,)) for table in self._tables
+        ]
+        for cluster in clusters:
+            sizes[cluster] = table_rows[next(iter(cluster))]
+        # Deterministic insertion order for tie-breaking: first-listed
+        # tables merge first when candidate sizes are equal.
+        positions = {table: index for index, table in enumerate(self._tables)}
+
+        steps: list[JoinStep] = []
+        while len(clusters) > 1:
+            best: tuple[float, int, int] | None = None
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    size = sizes[clusters[i]] * sizes[clusters[j]]
+                    for edge, _, factor in factors:
+                        if (
+                            edge & clusters[i]
+                            and edge & clusters[j]
+                            and edge <= clusters[i] | clusters[j]
+                        ):
+                            size *= factor
+                    if best is None or size < best[0]:
+                        best = (size, i, j)
+            assert best is not None
+            size, i, j = best
+            left, right = clusters[i], clusters[j]
+            merged = left | right
+            crossing = tuple(
+                spec
+                for edge, spec, _ in factors
+                if edge & left and edge & right
+            )
+            order = lambda cluster: tuple(  # noqa: E731 - local sort helper
+                sorted(cluster, key=positions.__getitem__)
+            )
+            steps.append(
+                JoinStep(
+                    left_tables=order(left),
+                    right_tables=order(right),
+                    specs=crossing,
+                    estimated_rows=float(size),
+                )
+            )
+            clusters = [
+                cluster
+                for index, cluster in enumerate(clusters)
+                if index not in (i, j)
+            ]
+            clusters.append(merged)
+            sizes[merged] = size
+        final = steps[-1].estimated_rows if steps else sizes[clusters[0]]
+        return JoinTreePlan(
+            steps=tuple(steps),
+            edge_estimates=tuple(
+                (estimator.spec, estimate)
+                for estimator, estimate in zip(self._estimators, estimates)
+            ),
+            estimated_rows=float(final),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinTreePlanner(tables={len(self._tables)}, "
+            f"edges={len(self._estimators)})"
+        )

@@ -1,0 +1,197 @@
+"""Pessimistic join bounds from per-(table, key) frequency sketches.
+
+A :class:`JoinBoundSketch` tracks one table column's value frequencies:
+distinct count, total count, and the most-common-value (MCV) frequency.
+From two sketches over the join keys of ``R`` and ``S`` it derives a
+*provable* upper bound on the equi-join size — no row of ``R`` can match
+more than ``max_frequency(S.key)`` rows of ``S`` and vice versa:
+
+    |R ⋈ S|  ≤  min(|R| · mcf(S.key),  |S| · mcf(R.key))
+
+(the two-relation case of the pessimistic/"postbound" MCV bound).  With
+filters applied to either side the bound holds with the *filtered*
+cardinalities, since filtering can only lower each side's per-value
+frequency.  When both sketches are exact (built from full table data,
+the default here), the bound is additionally capped by the exact
+unfiltered join size Σ_v f_R(v)·f_S(v), which filtered joins can never
+exceed either.
+
+The sketch is deliberately exact rather than probabilistic: the engine's
+tables are in-memory numpy arrays, so a value→count dict costs O(distinct)
+and keeps the bound *sound*, which is the entire point of the sandwich.
+Incremental :meth:`update`/:meth:`remove` keep it in lockstep with table
+mutations without rescans.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import JoinError
+
+__all__ = ["JoinBoundSketch", "pessimistic_upper_bound"]
+
+
+class JoinBoundSketch:
+    """Exact value-frequency sketch for one (table, key column) pair."""
+
+    def __init__(self, table: str, key: str) -> None:
+        if not table or not key:
+            raise JoinError("sketch table and key must be non-empty")
+        self.table = table
+        self.key = key
+        self._counts: Counter = Counter()
+        self._total = 0
+        # Bumped on every mutation; pair-wise join-size memos key on it.
+        self._version = 0
+        self._join_size_cache: dict[tuple[int, int, int], float] = {}
+
+    @classmethod
+    def from_table(cls, table: object, key: str) -> "JoinBoundSketch":
+        """Build a sketch from an engine table's current rows.
+
+        ``table`` is a :class:`repro.engine.table.Table`; only its
+        ``name`` attribute and ``column_values(key)`` are used, so any
+        object with that shape works.
+        """
+        sketch = cls(getattr(table, "name", str(table)), key)
+        sketch.update(table.column_values(key))
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def update(self, values: Iterable[object]) -> None:
+        """Fold newly inserted key values into the sketch."""
+        added = 0
+        for value in np.asarray(list(values)).ravel().tolist():
+            self._counts[value] += 1
+            added += 1
+        if added:
+            self._total += added
+            self._version += 1
+
+    def remove(self, values: Iterable[object]) -> None:
+        """Remove deleted rows' key values from the sketch."""
+        removed = 0
+        for value in np.asarray(list(values)).ravel().tolist():
+            count = self._counts.get(value, 0)
+            if count <= 0:
+                raise JoinError(
+                    f"cannot remove {value!r} from sketch "
+                    f"{self.table}.{self.key}: not present"
+                )
+            if count == 1:
+                del self._counts[value]
+            else:
+                self._counts[value] = count - 1
+            removed += 1
+        if removed:
+            self._total -= removed
+            self._version += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def total_count(self) -> int:
+        """Rows covered by the sketch (the table's key-column length)."""
+        return self._total
+
+    @property
+    def distinct_count(self) -> int:
+        """Distinct key values currently present."""
+        return len(self._counts)
+
+    @property
+    def max_frequency(self) -> int:
+        """The most-common value's frequency (0 when empty)."""
+        if not self._counts:
+            return 0
+        return max(self._counts.values())
+
+    def most_common(self, k: int = 10) -> list[tuple[object, int]]:
+        """The top-``k`` (value, frequency) pairs, most frequent first."""
+        if k < 1:
+            raise JoinError("k must be at least 1")
+        return self._counts.most_common(k)
+
+    def frequency(self, value: object) -> int:
+        """One value's frequency (0 when absent)."""
+        return self._counts.get(value, 0)
+
+    def join_size_with(self, other: "JoinBoundSketch") -> float:
+        """Exact unfiltered equi-join size Σ_v f_self(v) · f_other(v).
+
+        Memoised per (self version, other version) pair; iterates the
+        smaller sketch's distinct values.
+        """
+        cache_key = (id(other), self._version, other._version)
+        cached = self._join_size_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        small, large = self._counts, other._counts
+        if len(small) > len(large):
+            small, large = large, small
+        size = float(
+            sum(count * large[value] for value, count in small.items()
+                if value in large)
+        )
+        # One live memo per partner sketch is enough; drop stale entries.
+        self._join_size_cache = {
+            k: v for k, v in self._join_size_cache.items() if k[0] != id(other)
+        }
+        self._join_size_cache[cache_key] = size
+        return size
+
+    def upper_bound_with(
+        self,
+        other: "JoinBoundSketch",
+        self_rows: float | None = None,
+        other_rows: float | None = None,
+    ) -> float:
+        """Provable upper bound on the (optionally filtered) join size.
+
+        ``self_rows``/``other_rows`` are the *filtered* cardinalities of
+        each side (estimates or exact); they default to the sketches'
+        unfiltered totals.  See :func:`pessimistic_upper_bound`.
+        """
+        return pessimistic_upper_bound(self, other, self_rows, other_rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinBoundSketch({self.table}.{self.key}, "
+            f"rows={self._total}, distinct={self.distinct_count}, "
+            f"mcf={self.max_frequency})"
+        )
+
+
+def pessimistic_upper_bound(
+    left: JoinBoundSketch,
+    right: JoinBoundSketch,
+    left_rows: float | None = None,
+    right_rows: float | None = None,
+) -> float:
+    """MCV-frequency upper bound on ``|σ(L) ⋈ σ(R)|``.
+
+    ``min(left_rows · mcf_R, right_rows · mcf_L)``, additionally capped
+    by the exact unfiltered join size (filters only shrink a join).
+    ``left_rows``/``right_rows`` are the filtered side cardinalities and
+    may be fractional estimates; the bound is only as sound as they are
+    pessimistic, so callers who need a hard guarantee pass exact counts.
+    """
+    if left_rows is None:
+        left_rows = float(left.total_count)
+    if right_rows is None:
+        right_rows = float(right.total_count)
+    if left_rows < 0 or right_rows < 0:
+        raise JoinError("side cardinalities must be non-negative")
+    bound = min(
+        left_rows * right.max_frequency,
+        right_rows * left.max_frequency,
+        left.join_size_with(right),
+    )
+    return float(max(bound, 0.0))

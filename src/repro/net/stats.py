@@ -40,6 +40,11 @@ WORKER_SUMMED_COUNTERS = (
     "refits_completed",
     "challenger_refits",
     "promotions",
+    "sandwich_estimates",
+    "sandwich_learned",
+    "sandwich_independence",
+    "sandwich_upper_clamps",
+    "sandwich_lower_clamps",
 )
 
 _BUFFER_COUNTERS = (

@@ -59,6 +59,11 @@ class ServingStats:
         self.refits_completed = 0
         self.challenger_refits = 0
         self.promotions = 0
+        self.sandwich_estimates = 0
+        self.sandwich_learned = 0
+        self.sandwich_independence = 0
+        self.sandwich_upper_clamps = 0
+        self.sandwich_lower_clamps = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -175,6 +180,33 @@ class ServingStats:
         """A challenger was atomically promoted to champion."""
         with self._lock:
             self.promotions += 1
+
+    def record_sandwich(self, source: str, clamped: str | None) -> None:
+        """One sandwiched join estimate was served.
+
+        ``source`` says what produced the pre-clamp cardinality
+        (``"learned"`` from a served join model, ``"independence"`` from
+        the textbook fallback); ``clamped`` says which pessimistic bound
+        won, if any (``"upper"``, ``"lower"``, or ``None`` when the raw
+        estimate already lay inside the sandwich).  The clamp counters
+        are the observability the sandwich exists for: a high
+        ``sandwich_upper_clamps`` share means the learned model is
+        over-estimating into territory the MCV bounds prove impossible.
+        """
+        if source not in ("learned", "independence"):
+            raise ServingError(f"unknown sandwich source {source!r}")
+        if clamped not in (None, "upper", "lower"):
+            raise ServingError(f"unknown sandwich clamp side {clamped!r}")
+        with self._lock:
+            self.sandwich_estimates += 1
+            if source == "learned":
+                self.sandwich_learned += 1
+            else:
+                self.sandwich_independence += 1
+            if clamped == "upper":
+                self.sandwich_upper_clamps += 1
+            elif clamped == "lower":
+                self.sandwich_lower_clamps += 1
 
     # ------------------------------------------------------------------
     # Reading
@@ -318,6 +350,11 @@ class ServingStats:
                 "refits_completed": self.refits_completed,
                 "challenger_refits": self.challenger_refits,
                 "promotions": self.promotions,
+                "sandwich_estimates": self.sandwich_estimates,
+                "sandwich_learned": self.sandwich_learned,
+                "sandwich_independence": self.sandwich_independence,
+                "sandwich_upper_clamps": self.sandwich_upper_clamps,
+                "sandwich_lower_clamps": self.sandwich_lower_clamps,
             }
 
     def snapshot(self) -> dict[str, object]:

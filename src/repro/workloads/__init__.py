@@ -12,6 +12,8 @@
 * :mod:`repro.workloads.drift` — seeded drift-scenario generators
   (abrupt shift, gradual rotation, recurring/seasonal mix) for
   streaming-window training tests and benchmarks.
+* :mod:`repro.workloads.joins` — skewed-key, filter-correlated join
+  tables and join-query generators for the join-estimation benchmarks.
 """
 
 from repro.workloads.dmv import DMV_SCHEMA, DMVDataset, dmv_dataset, dmv_table
@@ -21,6 +23,11 @@ from repro.workloads.drift import (
     DriftStream,
     RotatingDriftStream,
     SeasonalDriftStream,
+)
+from repro.workloads.joins import (
+    JoinQueryGenerator,
+    skewed_join_tables,
+    zipf_key_frequencies,
 )
 from repro.workloads.instacart import (
     INSTACART_SCHEMA,
@@ -55,6 +62,9 @@ __all__ = [
     "InstacartDataset",
     "instacart_dataset",
     "instacart_table",
+    "JoinQueryGenerator",
+    "skewed_join_tables",
+    "zipf_key_frequencies",
     "RandomRangeQueryGenerator",
     "SlidingRangeQueryGenerator",
     "FixedRangeQueryGenerator",

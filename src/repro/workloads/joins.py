@@ -1,0 +1,221 @@
+"""Skewed-key join workloads for the join-estimation benchmarks.
+
+Two things make a join workload interesting for the sandwich:
+
+* **Key skew** — join-key frequencies follow a power law, so the
+  independence formula's ``1 / max(V(L), V(R))`` uniformity assumption
+  is badly wrong for hot keys.  Skew is also what gives the MCV upper
+  bound teeth: a large most-common frequency makes careless estimates
+  provably impossible to exceed.
+* **Filter–key correlation** — each side's filterable value column is
+  correlated with its join key, so a local filter implicitly selects a
+  key range.  Two filters landing on overlapping key ranges join far
+  more than independence predicts; disjoint ranges join far less.  This
+  is exactly the signal a learned joint model can capture and the
+  independence baseline structurally cannot.
+
+:func:`skewed_join_tables` builds two such tables;
+:class:`JoinQueryGenerator` draws seeded random-range
+:class:`~repro.engine.query.JoinQuery` streams over them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.query import JoinQuery, Query, QueryBuilder
+from repro.engine.schema import Column, ColumnType, Schema
+from repro.engine.table import Table
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "JoinQueryGenerator",
+    "skewed_join_tables",
+    "zipf_key_frequencies",
+]
+
+#: Column names every generated join table shares.
+KEY_COLUMN = "k"
+VALUE_COLUMN = "v"
+
+
+def zipf_key_frequencies(distinct_keys: int, skew: float) -> np.ndarray:
+    """Power-law key probabilities ``p_i ∝ (i + 1)^-skew`` (``skew=0``: uniform)."""
+    if distinct_keys < 1:
+        raise WorkloadError("distinct_keys must be at least 1")
+    if skew < 0:
+        raise WorkloadError("skew must be non-negative")
+    weights = (np.arange(distinct_keys) + 1.0) ** -skew
+    return weights / weights.sum()
+
+
+def _join_table(
+    name: str,
+    rows: int,
+    distinct_keys: int,
+    skew: float,
+    correlation_noise: float,
+    rng: np.random.Generator,
+) -> Table:
+    schema = Schema(
+        [
+            Column(KEY_COLUMN, ColumnType.INTEGER, low=0, high=distinct_keys),
+            Column(VALUE_COLUMN, ColumnType.REAL, low=0.0, high=1.0),
+        ]
+    )
+    probabilities = zipf_key_frequencies(distinct_keys, skew)
+    keys = rng.choice(distinct_keys, size=rows, p=probabilities)
+    # The value column tracks the key's position in the domain plus
+    # noise — the filter–key correlation the learned model feeds on.
+    values = np.clip(
+        (keys + 0.5) / distinct_keys
+        + rng.normal(0.0, correlation_noise, size=rows),
+        0.0,
+        1.0,
+    )
+    table = Table(name, schema)
+    table.insert(np.column_stack([keys, values]).astype(float))
+    return table
+
+
+def skewed_join_tables(
+    left_rows: int = 4000,
+    right_rows: int = 2000,
+    distinct_keys: int = 64,
+    skew: float = 1.2,
+    correlation_noise: float = 0.1,
+    seed: int = 0,
+    left_name: str = "orders",
+    right_name: str = "users",
+) -> tuple[Table, Table]:
+    """Two tables joinable on a shared skewed key column.
+
+    Both tables carry columns ``k`` (the join key, power-law skewed with
+    exponent ``skew``) and ``v`` (a real filter column correlated with
+    the key; ``correlation_noise`` is the gaussian blur on top).
+    """
+    if left_rows < 1 or right_rows < 1:
+        raise WorkloadError("both sides need at least one row")
+    rng = np.random.default_rng(seed)
+    left = _join_table(
+        left_name, left_rows, distinct_keys, skew, correlation_noise, rng
+    )
+    right = _join_table(
+        right_name, right_rows, distinct_keys, skew, correlation_noise, rng
+    )
+    return left, right
+
+
+class JoinQueryGenerator:
+    """Seeded random-range join queries over two generated join tables.
+
+    Two modes, both drawing side-filter widths from
+    ``[min_width, max_width]`` (domain fractions):
+
+    * ``"key_ranges"`` (default) — the *region join*: both sides filter
+      their **join-key** columns with ranges around one shared centre
+      (so the ranges overlap, the join is non-empty, and each query
+      probes one key neighbourhood).  The centre is drawn from the left
+      table's *actual key values* — queries follow the data, the way
+      real workloads hit hot entities more often — then blurred by
+      ``center_jitter`` (a domain fraction) so cold regions are probed
+      too.  Under key skew this is the workload where independence
+      fails structurally: its ``1 / max(V(L), V(R))`` term treats every
+      key region alike, while the true join mass varies by orders of
+      magnitude between hot and cold neighbourhoods.
+    * ``"value_ranges"`` — both sides filter their value columns
+      independently; because values are key-correlated, the filters
+      implicitly select key ranges with varying overlap.
+    """
+
+    MODES = ("key_ranges", "value_ranges")
+
+    def __init__(
+        self,
+        left_table: Table,
+        right_table: Table,
+        left_key: str = KEY_COLUMN,
+        right_key: str = KEY_COLUMN,
+        filter_column: str = VALUE_COLUMN,
+        mode: str = "key_ranges",
+        min_width: float = 0.05,
+        max_width: float = 0.25,
+        center_jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if mode not in self.MODES:
+            raise WorkloadError(
+                f"unknown mode {mode!r}; expected one of {self.MODES}"
+            )
+        if not 0.0 < min_width <= max_width <= 1.0:
+            raise WorkloadError(
+                "widths must satisfy 0 < min_width <= max_width <= 1"
+            )
+        if center_jitter < 0.0:
+            raise WorkloadError("center_jitter must be non-negative")
+        for table, key in ((left_table, left_key), (right_table, right_key)):
+            for column in (key, filter_column):
+                if column not in table.schema.column_names:
+                    raise WorkloadError(
+                        f"table {table.name!r} has no column {column!r}"
+                    )
+        self._left = left_table
+        self._right = right_table
+        self._left_key = left_key
+        self._right_key = right_key
+        self._filter_column = filter_column
+        self._mode = mode
+        self._min_width = min_width
+        self._max_width = max_width
+        self._center_jitter = center_jitter
+        self._left_keys = np.asarray(left_table.column_values(left_key))
+        self._rng = np.random.default_rng(seed)
+
+    def _value_predicate(self, table: Table) -> Query:
+        builder = QueryBuilder(table.schema)
+        column = table.schema.column(self._filter_column)
+        span = float(column.high - column.low)
+        width = span * self._rng.uniform(self._min_width, self._max_width)
+        low = float(column.low) + self._rng.uniform(0.0, span - width)
+        return Query(
+            table_name=table.name,
+            predicate=builder.range(self._filter_column, low, low + width),
+        )
+
+    def _key_predicate(self, table: Table, key: str, center: float) -> Query:
+        builder = QueryBuilder(table.schema)
+        column = table.schema.column(key)
+        span = float(column.high - column.low)
+        width = span * self._rng.uniform(self._min_width, self._max_width)
+        low = max(float(column.low), center - width / 2.0)
+        high = min(float(column.high) - 1.0, center + width / 2.0)
+        return Query(
+            table_name=table.name,
+            predicate=builder.range(key, low, max(high, low)),
+        )
+
+    def _query(self) -> JoinQuery:
+        if self._mode == "key_ranges":
+            key_column = self._left.schema.column(self._left_key)
+            span = float(key_column.high - key_column.low)
+            center = float(self._rng.choice(self._left_keys)) + (
+                span
+                * self._rng.uniform(-self._center_jitter, self._center_jitter)
+            )
+            left = self._key_predicate(self._left, self._left_key, center)
+            right = self._key_predicate(self._right, self._right_key, center)
+        else:
+            left = self._value_predicate(self._left)
+            right = self._value_predicate(self._right)
+        return JoinQuery(
+            left=left,
+            right=right,
+            left_key=self._left_key,
+            right_key=self._right_key,
+        )
+
+    def generate(self, count: int) -> list[JoinQuery]:
+        """``count`` seeded join queries, both sides filtered."""
+        if count < 0:
+            raise WorkloadError("count must be non-negative")
+        return [self._query() for _ in range(count)]

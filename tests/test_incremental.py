@@ -21,6 +21,7 @@ from repro.core.config import QuickSelConfig
 from repro.core.geometry import Hyperrectangle
 from repro.core.incremental import IncrementalTrainer
 from repro.core.mixture import UniformMixtureModel
+from repro.core.predicate import BoxPredicate, RangeConstraint
 from repro.core.quicksel import QuickSel
 from repro.core.region import Region
 from repro.core.subpopulation import AnchorReservoir
@@ -112,6 +113,72 @@ class TestAnchorReservoir:
         reservoir.add(np.zeros((0, 2)), rng)
         assert len(reservoir) == 0
         assert reservoir.points().shape == (0, 0)
+
+    def test_evict_before_drops_expired_births(self):
+        reservoir = AnchorReservoir(capacity=12)
+        rng = np.random.default_rng(2)
+        reservoir.add(np.full((4, 2), 1.0), rng, birth=0)
+        reservoir.add(np.full((4, 2), 2.0), rng, birth=3)
+        reservoir.add(np.full((4, 2), 3.0), rng, birth=7)
+        assert reservoir.evict_before(4) == 8
+        assert len(reservoir) == 4
+        assert (reservoir.births() == 7.0).all()
+        np.testing.assert_array_equal(
+            reservoir.points(), np.full((4, 2), 3.0)
+        )
+        # Algorithm R restarts over the survivors: seen == live count,
+        # so the next adds fill the freed slots instead of being
+        # discounted by lifetime history.
+        assert reservoir.seen == 4
+        reservoir.add(np.full((8, 2), 4.0), rng, birth=8)
+        assert len(reservoir) == 12
+
+    def test_evict_before_without_matches_is_a_noop(self):
+        reservoir = AnchorReservoir(capacity=8)
+        rng = np.random.default_rng(3)
+        reservoir.add(np.ones((5, 2)), rng, birth=10)
+        assert reservoir.evict_before(10) == 0
+        assert len(reservoir) == 5
+        assert AnchorReservoir(capacity=4).evict_before(99) == 0
+
+    def test_birthless_points_count_as_infinitely_old(self):
+        reservoir = AnchorReservoir(capacity=8)
+        rng = np.random.default_rng(4)
+        reservoir.add(np.ones((3, 2)), rng)
+        assert (reservoir.births() == -np.inf).all()
+        assert reservoir.evict_before(0) == 3
+        assert len(reservoir) == 0
+
+    def test_windowed_trainer_rebuilds_anchor_on_live_window_only(self):
+        """After a centre rebuild, every anchor's query is in the window."""
+        domain = Hyperrectangle([[0.0, 1.0], [0.0, 1.0]])
+        config = QuickSelConfig(
+            window_policy="sliding",
+            training_window=40,
+            max_subpopulations=64,
+            anchor_reservoir_capacity=50,
+            center_rebuild_every=1,
+        )
+        model = QuickSel(domain, config)
+        rng = np.random.default_rng(5)
+        for index in range(200):
+            low = rng.uniform(0, 0.8, size=2)
+            high = low + 0.2
+            predicate = BoxPredicate(
+                [
+                    RangeConstraint(0, low[0], high[0]),
+                    RangeConstraint(1, low[1], high[1]),
+                ]
+            )
+            model.observe(predicate, float((high - low).prod()))
+            if (index + 1) % 40 == 0:
+                model.refit()
+                trainer = model.trainer
+                assert trainer.last_report.rebuilt_centers
+                births = trainer.reservoir.births()
+                window_start = index + 1 - config.training_window
+                assert births.shape[0] > 0
+                assert (births >= window_start).all()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,758 @@
+"""Tests for the join-aware estimation subsystem (``repro.joins``).
+
+Covers the spec/key algebra, the pessimistic bound sketches (including
+hypothesis property tests of the MCV bound's soundness), the sandwich
+clamp invariant under arbitrary served selectivities, executor join
+feedback and its orientation handling, greedy join-tree planning, and
+full-stack parity: the same join model served in-process, through the
+sharded cluster, and over the wire through the asyncio gateway.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ShardedSelectivityService
+from repro.core.config import QuickSelConfig
+from repro.core.predicate import (
+    BoxPredicate,
+    RangeConstraint,
+    TruePredicate,
+)
+from repro.core.quicksel import QuickSel
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor
+from repro.engine.feedback import FeedbackLoop
+from repro.engine.join import exact_join_size
+from repro.engine.optimizer import plan_join_tree
+from repro.engine.query import JoinQuery, Query, QueryBuilder
+from repro.exceptions import JoinError
+from repro.joins import (
+    JoinBoundSketch,
+    JoinFeedbackLoop,
+    JoinSpec,
+    JoinTreePlanner,
+    SandwichedJoinEstimator,
+    parse_join_key,
+    pessimistic_upper_bound,
+    register_join_model,
+    sandwiched_batch,
+    shift_predicate,
+)
+from repro.net import GatewayServer, WorkerProcess, connect
+from repro.serving import RefitScheduler, SelectivityService
+from repro.workloads.joins import JoinQueryGenerator, skewed_join_tables
+
+PARITY = 1e-12
+MODEL_CONFIG = QuickSelConfig(max_subpopulations=64)
+
+
+# ----------------------------------------------------------------------
+# Shared trained stack (module-scoped: executor joins are not free)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trained_stack():
+    """Two skewed tables, a service with all three models, trained."""
+    left, right = skewed_join_tables(
+        left_rows=600, right_rows=400, distinct_keys=24, skew=1.2, seed=7
+    )
+    executor = Executor()
+    executor.register_table(left)
+    executor.register_table(right)
+
+    service = SelectivityService(scheduler=RefitScheduler("inline"))
+    feedback = FeedbackLoop(executor, Catalog())
+    feedback.register_service(
+        left.name, service, QuickSel(left.schema.domain(), MODEL_CONFIG)
+    )
+    feedback.register_service(
+        right.name, service, QuickSel(right.schema.domain(), MODEL_CONFIG)
+    )
+    spec = JoinSpec(left.name, "k", right.name, "k")
+    register_join_model(
+        service, spec, left.schema.domain(), right.schema.domain(), MODEL_CONFIG
+    )
+    left_sketch = JoinBoundSketch.from_table(left, "k")
+    right_sketch = JoinBoundSketch.from_table(right, "k")
+    estimator = SandwichedJoinEstimator(
+        spec,
+        service,
+        left_sketch,
+        right_sketch,
+        left.schema.dimension,
+        right.schema.dimension,
+    )
+    join_feedback = JoinFeedbackLoop(executor)
+    join_feedback.register_estimator(estimator)
+    for query in JoinQueryGenerator(left, right, seed=11).generate(50):
+        executor.execute_join(query)
+    for key in service.model_keys():
+        service.refit_now(key)
+    yield {
+        "left": left,
+        "right": right,
+        "executor": executor,
+        "service": service,
+        "spec": spec,
+        "estimator": estimator,
+        "left_sketch": left_sketch,
+        "right_sketch": right_sketch,
+    }
+    service.close()
+
+
+# ----------------------------------------------------------------------
+# Spec and key algebra
+# ----------------------------------------------------------------------
+class TestJoinSpec:
+    def test_canonical_key_is_orientation_invariant(self):
+        forward = JoinSpec("orders", "k", "users", "k")
+        backward = JoinSpec("users", "k", "orders", "k")
+        assert forward.model_key == backward.model_key
+        assert forward.is_canonical
+        assert not backward.is_canonical
+        assert "⋈" in str(forward.model_key)
+
+    def test_flipped_preserves_key_and_swaps_sides(self):
+        spec = JoinSpec("orders", "k", "users", "id")
+        flipped = spec.flipped()
+        assert flipped.model_key == spec.model_key
+        assert flipped.sides == (spec.sides[1], spec.sides[0])
+        assert spec.matches(flipped)
+
+    def test_parse_round_trips_the_model_key(self):
+        spec = JoinSpec("orders", "k", "users", "k")
+        parsed = parse_join_key(spec.model_key)
+        assert parsed.model_key == spec.model_key
+        assert parsed.is_canonical
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(JoinError):
+            JoinSpec("", "k", "users", "k")
+        with pytest.raises(JoinError):
+            JoinSpec("a⋈b", "k", "users", "k")
+
+    def test_shift_predicate_moves_constraint_dims(self):
+        predicate = BoxPredicate([RangeConstraint(0, 0.1, 0.4)])
+        shifted = shift_predicate(predicate, 2)
+        rows = np.array([[9.0, 9.0, 0.2, 5.0], [9.0, 9.0, 0.9, 5.0]])
+        assert shifted.matches(rows).tolist() == [True, False]
+        assert isinstance(shift_predicate(TruePredicate(), 3), TruePredicate)
+
+    def test_joint_predicate_evaluates_on_stacked_rows(self, trained_stack):
+        spec = trained_stack["spec"]
+        left, right = trained_stack["left"], trained_stack["right"]
+        left_pred = BoxPredicate([RangeConstraint(0, 2.0, 9.0)])
+        right_pred = BoxPredicate([RangeConstraint(1, 0.2, 0.7)])
+        joint = spec.joint_predicate(
+            left_pred, right_pred, left.schema.dimension, right.schema.dimension
+        )
+        joint_row = np.array([[5.0, 0.9, 3.0, 0.5]])  # left cols then right
+        assert joint.matches(joint_row).tolist() == [True]
+        outside = np.array([[5.0, 0.9, 3.0, 0.9]])  # right filter misses
+        assert joint.matches(outside).tolist() == [False]
+
+
+# ----------------------------------------------------------------------
+# Sketches and the pessimistic bound
+# ----------------------------------------------------------------------
+class TestJoinBoundSketch:
+    def test_from_table_counts_key_frequencies(self, trained_stack):
+        left = trained_stack["left"]
+        sketch = trained_stack["left_sketch"]
+        values = np.asarray(left.column_values("k"))
+        counts = Counter(values.tolist())
+        assert sketch.total_count == left.row_count
+        assert sketch.distinct_count == len(counts)
+        assert sketch.max_frequency == max(counts.values())
+        hot_value, hot_count = sketch.most_common(1)[0]
+        assert counts[hot_value] == hot_count
+
+    def test_join_size_matches_exact_hash_join(self, trained_stack):
+        left, right = trained_stack["left"], trained_stack["right"]
+        exact = exact_join_size(left, right, "k", "k")
+        sketched = trained_stack["left_sketch"].join_size_with(
+            trained_stack["right_sketch"]
+        )
+        assert sketched == pytest.approx(exact)
+
+    def test_upper_bound_dominates_exact_join_size(self, trained_stack):
+        left, right = trained_stack["left"], trained_stack["right"]
+        exact = exact_join_size(left, right, "k", "k")
+        bound = trained_stack["left_sketch"].upper_bound_with(
+            trained_stack["right_sketch"], left.row_count, right.row_count
+        )
+        assert exact <= bound + 1e-9
+
+    def test_update_and_remove_track_a_changing_table(self):
+        sketch = JoinBoundSketch("t", "k")
+        other = JoinBoundSketch("u", "k")
+        sketch.update([1, 1, 2])
+        other.update([1, 2, 2])
+        assert sketch.join_size_with(other) == pytest.approx(4.0)
+        sketch.update([2])  # cache must not serve the stale answer
+        assert sketch.join_size_with(other) == pytest.approx(6.0)
+        sketch.remove([1])
+        assert sketch.join_size_with(other) == pytest.approx(5.0)
+        with pytest.raises(JoinError):
+            sketch.remove([99])
+
+
+@st.composite
+def key_column(draw):
+    """A small join-key column with heavy duplication potential."""
+    return draw(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=40)
+    )
+
+
+class TestPessimisticBoundProperties:
+    @given(left_keys=key_column(), right_keys=key_column())
+    @settings(max_examples=200, deadline=None)
+    def test_exact_join_size_never_exceeds_bound(self, left_keys, right_keys):
+        """MCV bound soundness on arbitrary tables with exact side counts."""
+        left_sketch = JoinBoundSketch("l", "k")
+        right_sketch = JoinBoundSketch("r", "k")
+        left_sketch.update(left_keys)
+        right_sketch.update(right_keys)
+        left_counts = Counter(left_keys)
+        right_counts = Counter(right_keys)
+        exact = sum(
+            count * right_counts[value]
+            for value, count in left_counts.items()
+        )
+        bound = pessimistic_upper_bound(
+            left_sketch, right_sketch, len(left_keys), len(right_keys)
+        )
+        assert exact <= bound + 1e-9
+
+    @given(
+        data=st.data(), left_keys=key_column(), right_keys=key_column()
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_filtered_subset_stays_under_bound(
+        self, data, left_keys, right_keys
+    ):
+        """Every sub-multiset filter keeps the true size under the bound.
+
+        The sketches hold *unfiltered* frequencies; the bound takes the
+        exact filtered side cardinalities (the provable configuration) —
+        whatever rows a filter keeps, the filtered join can never exceed
+        ``min(|σL|·max_freq(R), |σR|·max_freq(L), |L ⋈ R|)``.
+        """
+        left_sketch = JoinBoundSketch("l", "k")
+        right_sketch = JoinBoundSketch("r", "k")
+        left_sketch.update(left_keys)
+        right_sketch.update(right_keys)
+        left_mask = data.draw(
+            st.lists(
+                st.booleans(),
+                min_size=len(left_keys),
+                max_size=len(left_keys),
+            )
+        )
+        right_mask = data.draw(
+            st.lists(
+                st.booleans(),
+                min_size=len(right_keys),
+                max_size=len(right_keys),
+            )
+        )
+        kept_left = [k for k, keep in zip(left_keys, left_mask) if keep]
+        kept_right = [k for k, keep in zip(right_keys, right_mask) if keep]
+        right_counts = Counter(kept_right)
+        exact = sum(
+            count * right_counts[value]
+            for value, count in Counter(kept_left).items()
+        )
+        bound = pessimistic_upper_bound(
+            left_sketch, right_sketch, len(kept_left), len(kept_right)
+        )
+        assert exact <= bound + 1e-9
+        assert bound >= 0.0
+
+
+class TestSandwichClampProperties:
+    @given(
+        left_selectivity=st.floats(
+            min_value=-0.5, max_value=1.5, allow_nan=False
+        ),
+        right_selectivity=st.floats(
+            min_value=-0.5, max_value=1.5, allow_nan=False
+        ),
+        join_selectivity=st.one_of(
+            st.none(),
+            st.floats(min_value=-0.5, max_value=1.5, allow_nan=False),
+        ),
+    )
+    @settings(
+        max_examples=200,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_served_estimate_always_inside_its_bounds(
+        self, trained_stack, left_selectivity, right_selectivity, join_selectivity
+    ):
+        """Whatever the served models say, the sandwich holds."""
+        estimate = trained_stack["estimator"].finish(
+            left_selectivity, right_selectivity, join_selectivity
+        )
+        assert estimate.within_bounds
+        assert estimate.lower_bound <= estimate.upper_bound
+        assert estimate.estimated_rows <= estimate.upper_bound
+        assert estimate.estimated_rows >= estimate.lower_bound
+        expected_source = (
+            "independence" if join_selectivity is None else "learned"
+        )
+        assert estimate.source == expected_source
+
+
+# ----------------------------------------------------------------------
+# Executor join feedback
+# ----------------------------------------------------------------------
+class TestExecutorJoins:
+    def test_execute_join_matches_exact_join_size(self, trained_stack):
+        left, right = trained_stack["left"], trained_stack["right"]
+        executor = trained_stack["executor"]
+        builder = QueryBuilder(left.schema)
+        query = JoinQuery(
+            left=Query(left.name, builder.range("k", 0, 8)),
+            right=Query(right.name, TruePredicate()),
+            left_key="k",
+            right_key="k",
+        )
+        result = executor.execute_join(query)
+        exact = exact_join_size(
+            left, right, "k", "k", query.left.predicate, query.right.predicate
+        )
+        assert result.join_rows == exact
+        cross = left.row_count * right.row_count
+        assert result.join_selectivity == pytest.approx(exact / cross)
+        assert executor.true_join_selectivity(query) == pytest.approx(
+            result.join_selectivity
+        )
+
+    def test_join_listeners_receive_query_and_result(self):
+        left, right = skewed_join_tables(
+            left_rows=80, right_rows=60, distinct_keys=8, seed=3
+        )
+        executor = Executor()
+        executor.register_table(left)
+        executor.register_table(right)
+        seen = []
+        executor.add_join_feedback_listener(
+            lambda query, result: seen.append((query, result))
+        )
+        query = JoinQueryGenerator(left, right, seed=5).generate(1)[0]
+        result = executor.execute_join(query)
+        assert seen == [(query, result)]
+
+
+class TestJoinFeedbackLoop:
+    def test_rejects_estimator_without_join_model(self, trained_stack):
+        left, right = trained_stack["left"], trained_stack["right"]
+        service = SelectivityService(scheduler=RefitScheduler("inline"))
+        service.register_model(
+            left.name, QuickSel(left.schema.domain(), MODEL_CONFIG)
+        )
+        service.register_model(
+            right.name, QuickSel(right.schema.domain(), MODEL_CONFIG)
+        )
+        bare = SandwichedJoinEstimator(
+            trained_stack["spec"],
+            service,
+            trained_stack["left_sketch"],
+            trained_stack["right_sketch"],
+            left.schema.dimension,
+            right.schema.dimension,
+        )
+        loop = JoinFeedbackLoop(Executor())
+        try:
+            with pytest.raises(JoinError):
+                loop.register_estimator(bare)
+        finally:
+            service.close()
+
+    def test_flipped_query_feeds_canonical_orientation(self, trained_stack):
+        """A query joining R⋈L must train the canonical L⋈R model."""
+        left, right = trained_stack["left"], trained_stack["right"]
+        executor = Executor()
+        executor.register_table(left)
+        executor.register_table(right)
+        loop = JoinFeedbackLoop(executor)
+        estimator = trained_stack["estimator"]
+        loop.register_estimator(estimator)
+        captured = []
+        original = estimator.observe
+        estimator.observe = lambda lp, rp, sel: captured.append((lp, rp, sel))
+        try:
+            left_builder = QueryBuilder(left.schema)
+            right_builder = QueryBuilder(right.schema)
+            left_pred = left_builder.range("k", 0, 10)
+            right_pred = right_builder.range("k", 2, 12)
+            flipped = JoinQuery(
+                left=Query(right.name, right_pred),
+                right=Query(left.name, left_pred),
+                left_key="k",
+                right_key="k",
+            )
+            executor.execute_join(flipped)
+        finally:
+            estimator.observe = original
+        assert len(captured) == 1
+        observed_left, observed_right, selectivity = captured[0]
+        # The estimator's spec is canonical (orders ⋈ users): the loop
+        # must hand it the *left table's* predicate first even though
+        # the query arrived flipped.
+        assert observed_left is left_pred
+        assert observed_right is right_pred
+        assert 0.0 <= selectivity <= 1.0
+
+
+# ----------------------------------------------------------------------
+# The trained sandwich end to end
+# ----------------------------------------------------------------------
+class TestTrainedSandwich:
+    def test_join_model_is_trained_and_serving(self, trained_stack):
+        estimator = trained_stack["estimator"]
+        assert estimator.has_join_model
+        query = JoinQueryGenerator(
+            trained_stack["left"], trained_stack["right"], seed=23
+        ).generate(1)[0]
+        estimate = estimator.estimate(
+            query.left.predicate, query.right.predicate
+        )
+        assert estimate.source == "learned"
+        assert estimate.within_bounds
+        assert estimate.learned_rows is not None
+
+    def test_sandwich_counters_flow_into_serving_stats(self, trained_stack):
+        service = trained_stack["service"]
+        before = service.stats.counters()["sandwich_estimates"]
+        trained_stack["estimator"].estimate(None, None)
+        after = service.stats.counters()
+        assert after["sandwich_estimates"] == before + 1
+        assert after["sandwich_learned"] + after["sandwich_independence"] >= 1
+
+    def test_unfiltered_estimate_tracks_full_join_size(self, trained_stack):
+        estimator = trained_stack["estimator"]
+        estimate = estimator.estimate(None, None)
+        # Unfiltered: the model predicts ~the whole join result, and the
+        # bound equals the exact full join size, so the estimate must
+        # land within a factor of a few of |L ⋈ R|.
+        full = estimator.full_join_size
+        assert estimate.estimated_rows <= full + 1e-6
+        assert estimate.estimated_rows >= 0.2 * full
+
+    def test_sandwiched_batch_matches_single_estimates(self, trained_stack):
+        estimator = trained_stack["estimator"]
+        queries = JoinQueryGenerator(
+            trained_stack["left"], trained_stack["right"], seed=31
+        ).generate(5)
+        batched = sandwiched_batch(
+            [
+                (estimator, query.left.predicate, query.right.predicate)
+                for query in queries
+            ]
+        )
+        for query, batch_estimate in zip(queries, batched):
+            single = estimator.estimate(
+                query.left.predicate, query.right.predicate
+            )
+            assert batch_estimate.estimated_rows == pytest.approx(
+                single.estimated_rows, abs=PARITY
+            )
+
+
+# ----------------------------------------------------------------------
+# Full-stack parity: in-process vs sharded cluster vs remote gateway
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def parity_models():
+    """Standalone trainers for both tables and the join, trained once."""
+    left, right = skewed_join_tables(
+        left_rows=400, right_rows=300, distinct_keys=16, skew=1.2, seed=19
+    )
+    executor = Executor()
+    executor.register_table(left)
+    executor.register_table(right)
+    spec = JoinSpec(left.name, "k", right.name, "k")
+    left_sketch = JoinBoundSketch.from_table(left, "k")
+    right_sketch = JoinBoundSketch.from_table(right, "k")
+
+    left_model = QuickSel(left.schema.domain(), MODEL_CONFIG)
+    right_model = QuickSel(right.schema.domain(), MODEL_CONFIG)
+    joint_domain = spec.joint_domain(
+        left.schema.domain(), right.schema.domain()
+    )
+    join_model = QuickSel(joint_domain, MODEL_CONFIG)
+
+    full = left_sketch.join_size_with(right_sketch)
+    cross = float(left.row_count * right.row_count)
+    for query in JoinQueryGenerator(left, right, seed=29).generate(40):
+        result = executor.execute_join(query)
+        left_model.observe(query.left.predicate, result.left_selectivity)
+        right_model.observe(query.right.predicate, result.right_selectivity)
+        kept = min(result.join_selectivity * cross / full, 1.0)
+        joint = spec.joint_predicate(
+            query.left.predicate,
+            query.right.predicate,
+            left.schema.dimension,
+            right.schema.dimension,
+        )
+        join_model.observe(joint, kept)
+    for model in (left_model, right_model, join_model):
+        model.refit()
+    probes = JoinQueryGenerator(left, right, seed=37).generate(8)
+    return {
+        "left": left,
+        "right": right,
+        "spec": spec,
+        "left_sketch": left_sketch,
+        "right_sketch": right_sketch,
+        "trainers": {
+            left.name: left_model,
+            right.name: right_model,
+            spec.model_key: join_model,
+        },
+        "probes": probes,
+    }
+
+
+def _estimate_through(service, models) -> list[float]:
+    """Register deepcopied trainers, serve every probe, return rows."""
+    for key, trainer in models["trainers"].items():
+        service.register_model(key, copy.deepcopy(trainer))
+    estimator = SandwichedJoinEstimator(
+        models["spec"],
+        service,
+        models["left_sketch"],
+        models["right_sketch"],
+        models["left"].schema.dimension,
+        models["right"].schema.dimension,
+    )
+    assert estimator.has_join_model
+    estimates = sandwiched_batch(
+        [
+            (estimator, probe.left.predicate, probe.right.predicate)
+            for probe in models["probes"]
+        ]
+    )
+    assert all(estimate.source == "learned" for estimate in estimates)
+    return [estimate.estimated_rows for estimate in estimates]
+
+
+class TestFullStackParity:
+    def test_sharded_cluster_serves_join_models_identically(
+        self, parity_models
+    ):
+        reference_service = SelectivityService(
+            scheduler=RefitScheduler("inline")
+        )
+        sharded = ShardedSelectivityService(
+            num_shards=3, scheduler_mode="inline"
+        )
+        try:
+            reference = _estimate_through(reference_service, parity_models)
+            clustered = _estimate_through(sharded, parity_models)
+        finally:
+            reference_service.close()
+            sharded.close()
+        assert np.abs(np.array(reference) - np.array(clustered)).max() <= (
+            PARITY * max(max(reference), 1.0)
+        )
+
+    def test_remote_gateway_serves_join_models_identically(self, parity_models):
+        reference_service = SelectivityService(
+            scheduler=RefitScheduler("inline")
+        )
+        processes = [WorkerProcess(shard_id=f"w{index}") for index in range(2)]
+        server = None
+        client = None
+        try:
+            server = GatewayServer(
+                {process.shard_id: process.address for process in processes}
+            )
+            server.start()
+            client = connect(*server.address)
+            reference = _estimate_through(reference_service, parity_models)
+            remote = _estimate_through(client, parity_models)
+        finally:
+            if client is not None:
+                client.close()
+            if server is not None:
+                server.close()
+            for process in processes:
+                try:
+                    process.request_shutdown(timeout=10.0)
+                except Exception:
+                    process.terminate()
+            reference_service.close()
+        assert np.abs(np.array(reference) - np.array(remote)).max() <= (
+            PARITY * max(max(reference), 1.0)
+        )
+
+
+# ----------------------------------------------------------------------
+# Join-tree planning
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def three_table_stack():
+    """A chain a ⋈ b ⋈ c with per-table and join models, lightly trained."""
+    a, b = skewed_join_tables(
+        left_rows=300,
+        right_rows=200,
+        distinct_keys=12,
+        seed=41,
+        left_name="a",
+        right_name="b",
+    )
+    c, _ = skewed_join_tables(
+        left_rows=120,
+        right_rows=50,
+        distinct_keys=12,
+        seed=43,
+        left_name="c",
+        right_name="unused",
+    )
+    executor = Executor()
+    for table in (a, b, c):
+        executor.register_table(table)
+    service = SelectivityService(scheduler=RefitScheduler("inline"))
+    feedback = FeedbackLoop(executor, Catalog())
+    for table in (a, b, c):
+        feedback.register_service(
+            table.name, service, QuickSel(table.schema.domain(), MODEL_CONFIG)
+        )
+    tables = {"a": a, "b": b, "c": c}
+    estimators = {}
+    join_feedback = JoinFeedbackLoop(executor)
+    for left_name, right_name in (("a", "b"), ("b", "c")):
+        left, right = tables[left_name], tables[right_name]
+        spec = JoinSpec(left.name, "k", right.name, "k")
+        register_join_model(
+            service,
+            spec,
+            left.schema.domain(),
+            right.schema.domain(),
+            MODEL_CONFIG,
+        )
+        estimator = SandwichedJoinEstimator(
+            spec,
+            service,
+            JoinBoundSketch.from_table(left, "k"),
+            JoinBoundSketch.from_table(right, "k"),
+            left.schema.dimension,
+            right.schema.dimension,
+        )
+        join_feedback.register_estimator(estimator)
+        estimators[(left_name, right_name)] = estimator
+        for query in JoinQueryGenerator(left, right, seed=47).generate(25):
+            executor.execute_join(query)
+    for key in service.model_keys():
+        service.refit_now(key)
+    yield {
+        "tables": tables,
+        "service": service,
+        "estimators": estimators,
+        "executor": executor,
+    }
+    service.close()
+
+
+class TestJoinTreePlanner:
+    def test_plan_covers_all_tables_once(self, three_table_stack):
+        planner = JoinTreePlanner(
+            list(three_table_stack["estimators"].values())
+        )
+        plan = planner.plan()
+        assert sorted(plan.join_order) == ["a", "b", "c"]
+        assert len(plan.steps) == 2
+        assert plan.estimated_rows >= 0.0
+        assert not any(step.is_cross_product for step in plan.steps)
+        assert len(plan.edge_estimates) == 2
+
+    def test_filters_shrink_the_planned_cardinality(self, three_table_stack):
+        planner = JoinTreePlanner(
+            list(three_table_stack["estimators"].values())
+        )
+        unfiltered = planner.plan()
+        a = three_table_stack["tables"]["a"]
+        builder = QueryBuilder(a.schema)
+        filtered = planner.plan({"a": builder.range("k", 0, 2)})
+        assert filtered.estimated_rows <= unfiltered.estimated_rows + 1e-6
+
+    def test_estimates_stay_inside_their_sandwiches(self, three_table_stack):
+        plan = JoinTreePlanner(
+            list(three_table_stack["estimators"].values())
+        ).plan()
+        for _, estimate in plan.edge_estimates:
+            assert estimate.within_bounds
+
+    def test_optimizer_entry_point_matches_planner(self, three_table_stack):
+        estimators = list(three_table_stack["estimators"].values())
+        direct = JoinTreePlanner(estimators).plan()
+        via_optimizer = plan_join_tree(estimators)
+        assert via_optimizer.join_order == direct.join_order
+        assert via_optimizer.estimated_rows == pytest.approx(
+            direct.estimated_rows
+        )
+
+    def test_rejects_duplicate_and_unknown_edges(self, three_table_stack):
+        estimators = list(three_table_stack["estimators"].values())
+        with pytest.raises(JoinError):
+            JoinTreePlanner(estimators + [estimators[0]])
+        with pytest.raises(JoinError):
+            JoinTreePlanner([])
+        with pytest.raises(JoinError):
+            JoinTreePlanner(estimators).plan({"zz": TruePredicate()})
+
+    def test_disconnected_components_merge_as_cross_product(self):
+        a, b = skewed_join_tables(
+            left_rows=60,
+            right_rows=40,
+            distinct_keys=6,
+            seed=53,
+            left_name="p",
+            right_name="q",
+        )
+        c, d = skewed_join_tables(
+            left_rows=50,
+            right_rows=30,
+            distinct_keys=6,
+            seed=59,
+            left_name="r",
+            right_name="s",
+        )
+        service = SelectivityService(scheduler=RefitScheduler("inline"))
+        try:
+            estimators = []
+            for left, right in ((a, b), (c, d)):
+                for table in (left, right):
+                    service.register_model(
+                        table.name,
+                        QuickSel(table.schema.domain(), MODEL_CONFIG),
+                    )
+                spec = JoinSpec(left.name, "k", right.name, "k")
+                estimators.append(
+                    SandwichedJoinEstimator(
+                        spec,
+                        service,
+                        JoinBoundSketch.from_table(left, "k"),
+                        JoinBoundSketch.from_table(right, "k"),
+                        left.schema.dimension,
+                        right.schema.dimension,
+                    )
+                )
+            plan = JoinTreePlanner(estimators).plan()
+        finally:
+            service.close()
+        assert len(plan.steps) == 3
+        assert plan.steps[-1].is_cross_product
+        assert sorted(plan.join_order) == ["p", "q", "r", "s"]
