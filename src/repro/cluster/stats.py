@@ -41,6 +41,8 @@ _SUMMED_COUNTERS = (
     "sandwich_independence",
     "sandwich_upper_clamps",
     "sandwich_lower_clamps",
+    "checkpoints_taken",
+    "checkpoint_restores",
 )
 
 

@@ -130,6 +130,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit after this many seconds (tests/smoke runs)",
     )
+
+    supervise = subparsers.add_parser(
+        "supervise",
+        help="run a fault-tolerant fleet: checkpointing workers, a "
+        "buffering gateway, and a supervisor that respawns crashes",
+    )
+    supervise.add_argument("--host", default="127.0.0.1")
+    supervise.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    supervise.add_argument(
+        "--workers", type=int, default=2, help="local worker processes"
+    )
+    supervise.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="directory for per-worker checkpoint stores (created)",
+    )
+    supervise.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="checkpoint a key every N accepted observations",
+    )
+    supervise.add_argument("--request-timeout", type=float, default=30.0)
+    supervise.add_argument(
+        "--health-interval",
+        type=float,
+        default=0.5,
+        help="seconds between worker health pings",
+    )
+    supervise.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        help="seconds between supervisor liveness sweeps",
+    )
+    supervise.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="consecutive crashes before a worker is given up",
+    )
+    supervise.add_argument(
+        "--write-buffer",
+        type=int,
+        default=256,
+        help="writes buffered per key while a worker is down "
+        "(0 disables buffering)",
+    )
+    supervise.add_argument(
+        "--run-seconds",
+        type=float,
+        default=None,
+        help="exit after this many seconds (tests/smoke runs)",
+    )
     return parser
 
 
@@ -239,6 +295,79 @@ def _run_serve_command(args: argparse.Namespace) -> str:
     return f"gateway stopped ({len(workers)} worker(s))"
 
 
+def _run_supervise_command(args: argparse.Namespace) -> str:
+    """``python -m repro supervise``: a self-healing local fleet."""
+    import os
+
+    from repro.net import FleetSupervisor, GatewayServer, WorkerProcess
+
+    if args.workers < 1:
+        raise ExperimentError("supervise needs at least one worker")
+
+    processes: dict[str, WorkerProcess] = {}
+
+    def spawn(index: int) -> WorkerProcess:
+        shard_id = f"worker-{index}"
+        process = WorkerProcess(
+            shard_id=shard_id,
+            checkpoint_dir=os.path.join(args.checkpoint_dir, shard_id),
+            checkpoint_every=args.checkpoint_every,
+        )
+        processes[shard_id] = process
+        return process
+
+    spawned = [spawn(index) for index in range(args.workers)]
+    workers = {worker.shard_id: worker.address for worker in spawned}
+    server = GatewayServer(
+        workers,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+        health_interval=args.health_interval,
+        write_buffer_capacity=args.write_buffer,
+    )
+    try:
+        server.start()
+    except BaseException:
+        for worker in spawned:
+            worker.terminate()
+        raise
+    supervisor = FleetSupervisor(
+        gateway=server,
+        poll_interval=args.poll_interval,
+        max_restarts=args.max_restarts,
+    )
+    for index, worker in enumerate(spawned):
+        supervisor.manage(
+            worker, (lambda i=index: spawn(i)), name=worker.shard_id
+        )
+    supervisor.start()
+    print(
+        f"supervised gateway on {server.host}:{server.port} over "
+        f"{len(workers)} worker(s), checkpoints in {args.checkpoint_dir}",
+        flush=True,
+    )
+    try:
+        if args.run_seconds is None:
+            threading.Event().wait()
+        else:
+            time.sleep(args.run_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.close()
+        server.close()
+        # `processes` holds the *current* handle per shard (the spawn
+        # factory replaces entries on respawn), so this reaches workers
+        # the supervisor restarted, not just the originals.
+        for worker in processes.values():
+            try:
+                worker.request_shutdown()
+            except Exception:
+                worker.terminate()
+    return f"supervised fleet stopped ({len(workers)} worker(s))"
+
+
 def main(argv: Sequence[str] | None = None) -> str:
     """Run the selected experiment and return (and print) its report."""
     parser = build_parser()
@@ -250,6 +379,10 @@ def main(argv: Sequence[str] | None = None) -> str:
         return report
     if args.experiment == "serve":
         report = _run_serve_command(args)
+        print(report)
+        return report
+    if args.experiment == "supervise":
+        report = _run_supervise_command(args)
         print(report)
         return report
 

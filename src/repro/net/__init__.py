@@ -32,12 +32,32 @@ real process and socket boundaries:
   latency windows, retries, reconnects) and the fleet aggregation that
   merges remote worker stats into a
   :class:`~repro.cluster.stats.ClusterStats`-compatible view.
+* :mod:`repro.net.breaker` — :class:`CircuitBreaker` (closed → open →
+  half-open probe) and the jittered-backoff helpers the gateway and
+  supervisor share.
+* :mod:`repro.net.checkpoint` — :class:`CheckpointStore`, durable
+  per-key snapshot+trainer bundles written atomically, so a respawned
+  worker boots with its learned state instead of a cold prior.
+* :mod:`repro.net.supervisor` — :class:`FleetSupervisor`, which watches
+  worker processes, respawns crashes with backoff, repoints the
+  gateway, and triggers journal resync; gives up after a crash loop.
+* :mod:`repro.net.chaos` — :class:`ChaosProxy` and
+  :class:`ChaosSchedule`, seeded fault injection (dropped connects,
+  delayed frames, severed streams, kill timers) for tests and the
+  fault benchmark.
 
 Trust boundary: frames carry pickled payloads, so the protocol is for
 links you trust end to end (localhost, a private service mesh) — the
 same boundary as multiprocessing itself.  TLS/auth is a roadmap item.
 """
 
+from repro.net.breaker import CircuitBreaker, equal_jitter, full_jitter
+from repro.net.chaos import ChaosProxy, ChaosSchedule
+from repro.net.checkpoint import (
+    CheckpointStore,
+    checkpoint_bundle,
+    restore_bundle,
+)
 from repro.net.client import RemoteSelectivityService, connect
 from repro.net.gateway import GatewayServer, SelectivityGateway
 from repro.net.protocol import (
@@ -49,6 +69,7 @@ from repro.net.protocol import (
     encode_snapshot,
 )
 from repro.net.stats import GatewayStats, merge_worker_stats
+from repro.net.supervisor import FleetSupervisor
 from repro.net.worker import WorkerProcess, WorkerServer, run_worker
 
 __all__ = [
@@ -67,4 +88,13 @@ __all__ = [
     "connect",
     "GatewayStats",
     "merge_worker_stats",
+    "CircuitBreaker",
+    "full_jitter",
+    "equal_jitter",
+    "CheckpointStore",
+    "checkpoint_bundle",
+    "restore_bundle",
+    "FleetSupervisor",
+    "ChaosProxy",
+    "ChaosSchedule",
 ]

@@ -1,0 +1,174 @@
+"""Failure isolation primitives: circuit breaker and jittered backoff.
+
+:class:`CircuitBreaker` is the standard three-state breaker.  CLOSED
+passes every call and counts consecutive failures; after
+``failure_threshold`` of them the breaker OPENs and rejects calls
+outright (the caller fails fast to its degraded path instead of waiting
+out timeouts against a dead peer).  Once ``cooldown_seconds`` have
+passed the breaker turns HALF_OPEN and admits exactly one probe call:
+success closes it, failure re-opens it and restarts the cooldown.
+
+The jitter helpers exist because deterministic exponential backoff
+synchronises retriers: every link that failed at the same instant
+retries at the same instant, hammering a recovering worker in lockstep.
+:func:`full_jitter` (delay uniform in ``[0, base * 2**attempt]``) is the
+read-retry flavour — cheap calls, many concurrent retriers, spread them
+as thin as possible.  :func:`equal_jitter` (uniform in the upper half)
+is the respawn flavour — a supervisor restart is expensive, so keep a
+floor under the delay while still de-synchronising multiple crashed
+workers.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable
+
+from repro.exceptions import NetError
+
+__all__ = ["CircuitBreaker", "full_jitter", "equal_jitter"]
+
+
+def full_jitter(
+    base: float, attempt: int, rng: random.Random
+) -> float:
+    """A delay uniform in ``[0, base * 2**attempt]`` (AWS full jitter)."""
+    if base < 0:
+        raise NetError("backoff base must be non-negative")
+    if attempt < 0:
+        raise NetError("attempt must be non-negative")
+    return rng.random() * base * (2.0**attempt)
+
+
+def equal_jitter(
+    base: float,
+    attempt: int,
+    rng: random.Random,
+    cap: float | None = None,
+) -> float:
+    """A delay uniform in the upper half of the exponential envelope.
+
+    ``cap``, when given, bounds the envelope before halving, so the
+    delay never exceeds ``cap`` no matter how many attempts have failed.
+    """
+    if base < 0:
+        raise NetError("backoff base must be non-negative")
+    if attempt < 0:
+        raise NetError("attempt must be non-negative")
+    envelope = base * (2.0**attempt)
+    if cap is not None:
+        envelope = min(cap, envelope)
+    return envelope / 2.0 + rng.random() * envelope / 2.0
+
+
+class CircuitBreaker:
+    """A thread-safe three-state (closed/open/half-open) circuit breaker.
+
+    The OPEN → HALF_OPEN promotion is lazy: it happens inside
+    :meth:`allow` / :meth:`state` once the cooldown has elapsed, so the
+    breaker needs no timer thread.  In HALF_OPEN exactly one caller at a
+    time gets ``allow() == True`` (the probe); everyone else keeps
+    failing fast until the probe reports back.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise NetError("failure_threshold must be at least 1")
+        if cooldown_seconds <= 0:
+            raise NetError("cooldown_seconds must be positive")
+        self._threshold = failure_threshold
+        self._cooldown = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: Total CLOSED/HALF_OPEN → OPEN transitions over the lifetime.
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        """The current state (promoting OPEN to HALF_OPEN when due)."""
+        with self._lock:
+            return self._state_locked()
+
+    @property
+    def failure_threshold(self) -> int:
+        """Consecutive failures that trip the breaker."""
+        return self._threshold
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self._cooldown
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        CLOSED always allows; OPEN never does; HALF_OPEN admits one
+        probe at a time (the admitted caller must report back via
+        :meth:`record_success` / :meth:`record_failure`).
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.OPEN:
+                return False
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        """A call completed; close the breaker and forget the failures."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probe_inflight = False
+
+    def record_failure(self) -> bool:
+        """A call failed.  Returns True when *this* failure opened the
+        breaker (the caller counts breaker-open events exactly once)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.HALF_OPEN:
+                # The probe failed: back to OPEN, restart the cooldown.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                self.opens += 1
+                return True
+            self._failures += 1
+            if state == self.CLOSED and self._failures >= self._threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.opens += 1
+                return True
+            return False
+
+    def reset(self) -> None:
+        """Force the breaker closed (operator override)."""
+        self.record_success()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"threshold={self._threshold}, opens={self.opens})"
+        )

@@ -369,6 +369,13 @@ class RemoteSelectivityService:
             "set_worker_address", {"name": name, "host": host, "port": port}
         )
 
+    def resync_worker(self, name: str) -> dict[str, int]:
+        """Reconcile a restored worker's feedback with the gateway journal.
+
+        Unbounded: replay volume scales with the outage.
+        """
+        return self._call("resync_worker", {"name": name}, timeout=None)
+
     def __repr__(self) -> str:
         return (
             f"RemoteSelectivityService(address=({self._host!r}, "

@@ -26,7 +26,23 @@ Robustness model:
   *not* applied, so the retry cannot duplicate anything;
 * links reconnect lazily on the next call (and eagerly from the
   optional health-check loop), so a worker respawned at the same
-  address resumes service without gateway restarts.
+  address resumes service without gateway restarts;
+* each worker link sits behind a :class:`~repro.net.breaker.CircuitBreaker`
+  — after N consecutive failures the gateway stops dialling the corpse
+  and fails fast until a half-open probe (or a health-loop ping)
+  succeeds;
+* reads against an unreachable worker degrade instead of erroring: the
+  gateway answers from its last-known decoded snapshot for the key, or
+  from a configured prior when it never saw one (``degraded_estimates``
+  counts every such answer — degraded values are *stale*, not wrong:
+  snapshots are immutable and only drift by missing recent refits);
+* writes against an unreachable worker can be buffered (bounded,
+  opt-in via ``write_buffer_capacity``) and replayed on recovery; a
+  per-key journal of acknowledged writes lets
+  :meth:`SelectivityGateway.resync_worker` re-deliver the feedback a
+  checkpoint-restored worker lost, so no acknowledged observation
+  silently disappears (irrecoverable gaps are counted in
+  ``lost_writes``, never dropped quietly).
 
 :class:`GatewayServer` hosts the gateway on its own event-loop thread
 and speaks the same wire protocol to downstream clients, dispatching one
@@ -37,9 +53,11 @@ asyncio task per request (responses may return out of request order; the
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import threading
 import time
+from collections import deque
 from collections.abc import Sequence
 from typing import Any
 
@@ -53,10 +71,13 @@ from repro.exceptions import (
     WorkerUnavailableError,
 )
 from repro.serving.registry import ModelKey, normalize_key
+from repro.serving.snapshot import ModelSnapshot
 from repro.cluster.router import ShardRouter
+from repro.net.breaker import CircuitBreaker, full_jitter
 from repro.net.protocol import (
     Request,
     Response,
+    decode_snapshot,
     error_response,
     raise_remote_error,
     read_message,
@@ -232,6 +253,27 @@ class _WorkerLink:
             self._reader_task = None
 
 
+class _WriteJournal:
+    """Per-key memory of acknowledged feedback, for resync after a crash.
+
+    ``base`` is the key's feedback count when the gateway registered it;
+    ``delivered`` counts observes a worker confirmed since; ``recent``
+    keeps the newest delivered writes (bounded) so a checkpoint-restored
+    worker can be topped back up; ``pending`` holds writes acknowledged
+    into the outage buffer but not yet delivered anywhere.
+    """
+
+    __slots__ = ("base", "delivered", "recent", "pending")
+
+    def __init__(self, base: int, journal_capacity: int) -> None:
+        self.base = base
+        self.delivered = 0
+        self.recent: deque[tuple[object, float]] = deque(
+            maxlen=max(1, journal_capacity)
+        )
+        self.pending: deque[tuple[object, float]] = deque()
+
+
 class SelectivityGateway:
     """Route the serving surface over a fleet of worker processes."""
 
@@ -243,19 +285,54 @@ class SelectivityGateway:
         max_retries: int = 2,
         retry_backoff: float = 0.05,
         health_interval: float | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
+        degraded_reads: bool = True,
+        degraded_prior: float | None = 0.5,
+        write_buffer_capacity: int = 0,
+        write_journal_capacity: int = 1024,
+        backoff_rng: random.Random | None = None,
     ) -> None:
         """``workers`` maps worker name → ``(host, port)``.
 
         ``request_timeout`` bounds every routine worker round trip
         (``None`` disables); migrations and drains manage their own
-        budgets.  ``max_retries`` applies to idempotent reads only.
-        ``health_interval`` (seconds), when set, runs a background ping
-        loop that eagerly reconnects failed links.
+        budgets.  ``max_retries`` applies to idempotent reads only;
+        retry delays are full-jittered so concurrent retriers don't
+        stampede a recovering worker in lockstep.  ``health_interval``
+        (seconds), when set, runs a background ping loop that eagerly
+        reconnects failed links, feeds the circuit breakers, and replays
+        buffered writes once their owner answers again.
+
+        Degradation knobs: each worker gets a circuit breaker that opens
+        after ``breaker_threshold`` consecutive failures and half-open
+        probes after ``breaker_cooldown`` seconds.  With
+        ``degraded_reads`` on, reads that exhaust their retries answer
+        from the gateway's last-known snapshot for the key (or
+        ``degraded_prior`` when no snapshot was ever seen; ``None``
+        re-raises instead).  ``write_buffer_capacity`` > 0 additionally
+        acknowledges observes into a bounded per-key buffer while the
+        owner is down — buffered writes are replayed on recovery, which
+        trades the plain path's "an ack means the worker has it" for
+        "an ack means the fleet will eventually have it".
+        ``write_journal_capacity`` bounds the per-key journal of
+        delivered writes that :meth:`resync_worker` re-delivers after a
+        checkpoint restore; size it at least as large as the workers'
+        ``checkpoint_every`` or restores may lose acknowledged feedback
+        (counted in ``lost_writes``, never silent).
         """
         if not workers:
             raise ClusterError("a gateway needs at least one worker")
         if max_retries < 0:
             raise ClusterError("max_retries must be non-negative")
+        if breaker_threshold < 1:
+            raise ClusterError("breaker_threshold must be at least 1")
+        if breaker_cooldown <= 0:
+            raise ClusterError("breaker_cooldown must be positive")
+        if write_buffer_capacity < 0 or write_journal_capacity < 0:
+            raise ClusterError("write capacities must be non-negative")
+        if degraded_prior is not None and not 0.0 <= degraded_prior <= 1.0:
+            raise ClusterError("degraded_prior must be in [0, 1] or None")
         self._stats = GatewayStats()
         self._links = {
             name: _WorkerLink(name, host, port, self._stats)
@@ -270,6 +347,24 @@ class SelectivityGateway:
         self._health_task: asyncio.Task | None = None
         self._membership = asyncio.Lock()
         self._closed = False
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._degraded_reads = degraded_reads
+        self._degraded_prior = degraded_prior
+        self._write_buffer_capacity = write_buffer_capacity
+        self._write_journal_capacity = write_journal_capacity
+        self._rng = backoff_rng if backoff_rng is not None else random.Random()
+        self._breakers = {name: self._new_breaker() for name in workers}
+        # Both caches are touched only from the gateway's event loop, so
+        # they need no locks; mutations never span an await.
+        self._snapshots: dict[ModelKey, ModelSnapshot] = {}
+        self._journals: dict[ModelKey, _WriteJournal] = {}
+
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self._breaker_threshold,
+            cooldown_seconds=self._breaker_cooldown,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -283,6 +378,11 @@ class SelectivityGateway:
     def router(self) -> ShardRouter:
         """The hash ring (mutate only through add/remove_worker)."""
         return self._router
+
+    @property
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        """Per-worker circuit breakers, by worker name (read-only view)."""
+        return dict(self._breakers)
 
     async def start(self) -> None:
         """Connect every link; start the health loop if configured."""
@@ -329,17 +429,29 @@ class SelectivityGateway:
                 raise ClusterError(f"unknown worker {name!r}")
             await link.close()
             self._links[name] = _WorkerLink(name, host, port, self._stats)
+            # A repoint is an operator/supervisor asserting the worker is
+            # back: give the fresh address a clean slate to prove it.
+            breaker = self._breakers.get(name)
+            if breaker is not None:
+                breaker.reset()
 
     async def _health_loop(self) -> None:
         while True:
             await asyncio.sleep(self._health_interval)
-            for link in list(self._links.values()):
+            for name, link in list(self._links.items()):
+                breaker = self._breakers.get(name)
                 try:
                     await link.call("ping", timeout=self._request_timeout)
                 except (WorkerUnavailableError, NetError):
                     # The next call (or next health tick) reconnects; the
                     # link already failed its in-flight futures.
+                    self._stats.record_health_failure()
+                    if breaker is not None and breaker.record_failure():
+                        self._stats.record_breaker_open()
                     continue
+                if breaker is not None:
+                    breaker.record_success()
+                await self._replay_pending_to(name)
 
     # ------------------------------------------------------------------
     # Routing and retry machinery
@@ -354,20 +466,44 @@ class SelectivityGateway:
         kwargs: dict[str, Any] | None = None,
         timeout: float | None = None,
     ) -> Any:
-        """One bounded worker call, with reconnect-and-retry on reads."""
+        """One bounded worker call, with reconnect-and-retry on reads.
+
+        Every attempt consults the worker's circuit breaker: an open
+        breaker fails fast (no dial, no timeout wait), which is what
+        lets callers fall through to the degraded path at memory speed
+        while the owner is down.  Retry sleeps are full-jittered.
+        """
         wire_timeout = self._request_timeout if timeout is None else timeout
         retries = self._max_retries if method in IDEMPOTENT_READS else 0
+        breaker = self._breakers.get(link.name)
         last_error: Exception | None = None
         for attempt in range(retries + 1):
-            try:
-                return await link.call(method, kwargs, timeout=wire_timeout)
-            except RemoteTimeoutError:
-                raise  # the worker may still apply it; never replay
-            except (WorkerUnavailableError, NetError) as error:
-                last_error = error
-                if attempt < retries:
-                    self._stats.record_retry()
-                    await asyncio.sleep(self._retry_backoff * (2**attempt))
+            if breaker is not None and not breaker.allow():
+                last_error = WorkerUnavailableError(
+                    f"circuit breaker open for worker {link.name!r}"
+                )
+            else:
+                try:
+                    value = await link.call(
+                        method, kwargs, timeout=wire_timeout
+                    )
+                except RemoteTimeoutError:
+                    if breaker is not None and breaker.record_failure():
+                        self._stats.record_breaker_open()
+                    raise  # the worker may still apply it; never replay
+                except (WorkerUnavailableError, NetError) as error:
+                    if breaker is not None and breaker.record_failure():
+                        self._stats.record_breaker_open()
+                    last_error = error
+                else:
+                    if breaker is not None:
+                        breaker.record_success()
+                    return value
+            if attempt < retries:
+                self._stats.record_retry()
+                await asyncio.sleep(
+                    full_jitter(self._retry_backoff, attempt, self._rng)
+                )
         assert last_error is not None
         raise last_error
 
@@ -398,16 +534,42 @@ class SelectivityGateway:
         """Install an :func:`~repro.net.protocol.encode_backend` payload
         on the worker its key routes to."""
         key = normalize_key(table, columns)
-        return await self._call_routed(
+        result = await self._call_routed(
             key, "register_model", {"table": key, "backend": backend}
         )
+        # Best-effort: seed the degraded-read cache and the write
+        # journal's base count.  Failure here leaves the registration
+        # valid — the key just has no degraded answer / resync anchor
+        # until a later snapshot_for or resync refreshes it.
+        try:
+            await self._refresh_snapshot(key)
+            if self._write_journal_capacity or self._write_buffer_capacity:
+                base = await self._call_routed(
+                    key, "feedback_count", {"table": key}
+                )
+                self._journals[key] = _WriteJournal(
+                    int(base), self._write_journal_capacity
+                )
+        except (WorkerUnavailableError, NetError, ServingError):
+            pass
+        return result
 
     async def unregister_model(
         self, table: str | ModelKey, columns: Sequence[str] = ()
     ) -> bytes:
         """Withdraw a key's backend; returns the encoded trainer."""
         key = normalize_key(table, columns)
-        return await self._call_routed(key, "unregister_model", {"table": key})
+        payload = await self._call_routed(
+            key, "unregister_model", {"table": key}
+        )
+        self._snapshots.pop(key, None)
+        self._journals.pop(key, None)
+        return payload
+
+    async def _refresh_snapshot(self, key: ModelKey) -> None:
+        """Re-fetch and decode a key's snapshot for the degraded cache."""
+        payload = await self._call_routed(key, "snapshot_for", {"table": key})
+        self._snapshots[key] = decode_snapshot(payload)
 
     async def model_keys(self) -> tuple[ModelKey, ...]:
         """Every key served anywhere in the fleet, sorted."""
@@ -428,7 +590,12 @@ class SelectivityGateway:
     ) -> bytes:
         """The owning worker's current snapshot, wire-encoded."""
         key = normalize_key(table, columns)
-        return await self._call_routed(key, "snapshot_for", {"table": key})
+        payload = await self._call_routed(key, "snapshot_for", {"table": key})
+        try:
+            self._snapshots[key] = decode_snapshot(payload)
+        except Exception:
+            pass  # an undecodable payload must not fail the passthrough
+        return payload
 
     async def feedback_count(
         self, table: str | ModelKey, columns: Sequence[str] = ()
@@ -440,17 +607,53 @@ class SelectivityGateway:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    def _degraded_answer(
+        self,
+        key: ModelKey,
+        predicates: Sequence[object],
+        error: Exception,
+    ) -> np.ndarray:
+        """Answer a failed read from the last-known snapshot or prior.
+
+        Degraded values are *stale*, not fabricated: the cached snapshot
+        is the immutable model the owner itself was serving the last
+        time the gateway saw it — it only misses refits since.  The
+        prior fallback (when the gateway never saw a snapshot for the
+        key) is the uniform-ignorance answer and is the reason
+        ``degraded_estimates`` must be watched, not just availability.
+        """
+        if not self._degraded_reads:
+            raise error
+        snapshot = self._snapshots.get(key)
+        if snapshot is not None:
+            values = np.asarray(
+                snapshot.estimate_many(list(predicates)), dtype=float
+            )
+        elif self._degraded_prior is not None:
+            values = np.full(len(predicates), self._degraded_prior)
+        else:
+            raise error
+        self._stats.record_degraded(len(predicates))
+        return values
+
     async def estimate(
         self,
         table: str | ModelKey,
         predicate: object,
         columns: Sequence[str] = (),
     ) -> float:
-        """Scalar estimate from the owning worker's current snapshot."""
+        """Scalar estimate from the owning worker's current snapshot.
+
+        Falls back to the degraded path (last-known snapshot, then the
+        configured prior) when the owner is unreachable.
+        """
         key = normalize_key(table, columns)
-        return await self._call_routed(
-            key, "estimate", {"table": key, "predicate": predicate}
-        )
+        try:
+            return await self._call_routed(
+                key, "estimate", {"table": key, "predicate": predicate}
+            )
+        except (WorkerUnavailableError, NetError) as error:
+            return float(self._degraded_answer(key, [predicate], error)[0])
 
     async def estimate_batch(
         self,
@@ -460,9 +663,13 @@ class SelectivityGateway:
     ) -> np.ndarray:
         """Single-key burst, routed whole to one worker's vectorised path."""
         key = normalize_key(table, columns)
-        return await self._call_routed(
-            key, "estimate_batch", {"table": key, "predicates": list(predicates)}
-        )
+        predicates = list(predicates)
+        try:
+            return await self._call_routed(
+                key, "estimate_batch", {"table": key, "predicates": predicates}
+            )
+        except (WorkerUnavailableError, NetError) as error:
+            return self._degraded_answer(key, predicates, error)
 
     async def estimate_batch_mixed(
         self, pairs: Sequence[tuple[str | ModelKey, object]]
@@ -485,9 +692,16 @@ class SelectivityGateway:
         async def run_group(
             key: ModelKey, indices: list[int], predicates: list[object]
         ) -> None:
-            values = await self._call_routed(
-                key, "estimate_batch", {"table": key, "predicates": predicates}
-            )
+            try:
+                values = await self._call_routed(
+                    key,
+                    "estimate_batch",
+                    {"table": key, "predicates": predicates},
+                )
+            except (WorkerUnavailableError, NetError) as error:
+                # Degrade only this key's slice; the rest of the burst
+                # keeps its live answers.
+                values = self._degraded_answer(key, predicates, error)
             results[indices] = values
 
         await asyncio.gather(
@@ -512,14 +726,156 @@ class SelectivityGateway:
 
         Not auto-retried on connection failure (the request may already
         have been applied); a failure surfaces
-        :class:`WorkerUnavailableError` and the caller decides.
+        :class:`WorkerUnavailableError` and the caller decides — unless
+        ``write_buffer_capacity`` is set, in which case the write is
+        acknowledged into a bounded gateway-side buffer and replayed
+        once the owner answers again (a full buffer raises as before).
+        Timeouts are never buffered: a timed-out write may already have
+        been applied, and replaying it could double-count feedback.
         """
         key = normalize_key(table, columns)
-        return await self._call_routed(
-            key,
-            "observe",
-            {"table": key, "predicate": predicate, "selectivity": selectivity},
-        )
+        journal = self._journals.get(key)
+        if journal is not None and journal.pending:
+            # Older buffered writes go first so feedback stays ordered;
+            # if the owner is still down, this write queues behind them.
+            await self._replay_pending_for_key(key, journal)
+            if journal.pending:
+                return self._buffer_write(key, journal, predicate, selectivity)
+        try:
+            result = await self._call_routed(
+                key,
+                "observe",
+                {
+                    "table": key,
+                    "predicate": predicate,
+                    "selectivity": selectivity,
+                },
+            )
+        except RemoteTimeoutError:
+            raise
+        except (WorkerUnavailableError, NetError):
+            if journal is None or self._write_buffer_capacity == 0:
+                raise
+            return self._buffer_write(key, journal, predicate, selectivity)
+        # Any non-raising reply means the worker buffered the feedback
+        # (the boolean only reports whether a refit was triggered), so
+        # the journal counts every delivered write.
+        if journal is not None:
+            journal.delivered += 1
+            journal.recent.append((predicate, selectivity))
+        return result
+
+    def _buffer_write(
+        self,
+        key: ModelKey,
+        journal: _WriteJournal,
+        predicate: object,
+        selectivity: float,
+    ) -> bool:
+        if len(journal.pending) >= self._write_buffer_capacity:
+            raise WorkerUnavailableError(
+                f"write buffer full for key {key} "
+                f"({self._write_buffer_capacity} pending) and its owner "
+                "is unreachable"
+            )
+        journal.pending.append((predicate, selectivity))
+        self._stats.record_buffered_write()
+        return True
+
+    async def _replay_pending_for_key(
+        self, key: ModelKey, journal: _WriteJournal
+    ) -> int:
+        """Deliver a key's buffered writes in order; stop on failure."""
+        replayed = 0
+        while journal.pending:
+            predicate, selectivity = journal.pending.popleft()
+            try:
+                await self._call_routed(
+                    key,
+                    "observe",
+                    {
+                        "table": key,
+                        "predicate": predicate,
+                        "selectivity": selectivity,
+                    },
+                )
+            except (WorkerUnavailableError, NetError, ServingError):
+                # Still down (or the restored worker lost the key and
+                # awaits resync) — put the write back and try later.
+                journal.pending.appendleft((predicate, selectivity))
+                break
+            journal.delivered += 1
+            journal.recent.append((predicate, selectivity))
+            self._stats.record_buffered_replay()
+            replayed += 1
+        return replayed
+
+    async def _replay_pending_to(self, name: str) -> int:
+        """Replay every buffered write owned by worker ``name``."""
+        replayed = 0
+        for key, journal in list(self._journals.items()):
+            if journal.pending and self._router.route(key) == name:
+                replayed += await self._replay_pending_for_key(key, journal)
+        return replayed
+
+    async def resync_worker(self, name: str) -> dict[str, int]:
+        """Reconcile a respawned worker with the gateway's write journal.
+
+        Call after :meth:`set_worker_address` when a worker came back
+        from a checkpoint restore.  For every journaled key the worker
+        owns: compare its feedback count against ``base + delivered``;
+        re-deliver the newest journaled writes to close the gap (the
+        feedback acknowledged after the last checkpoint), then replay
+        any writes buffered during the outage, then refresh the
+        degraded-read snapshot cache.  A gap wider than the journal is
+        counted in ``lost_writes`` — size ``write_journal_capacity``
+        above the workers' ``checkpoint_every`` to keep it at zero.
+
+        Returns ``{"keys": restored, "replayed": n, "lost": m}``.
+        """
+        link = self._links.get(name)
+        if link is None:
+            raise ClusterError(f"unknown worker {name!r}")
+        keys = await self._call_link(link, "model_keys")
+        restored = 0
+        replayed = 0
+        lost = 0
+        for key in keys:
+            if self._router.route(key) != name:
+                continue
+            journal = self._journals.get(key)
+            if journal is not None:
+                count = await self._call_routed(
+                    key, "feedback_count", {"table": key}
+                )
+                gap = (journal.base + journal.delivered) - int(count)
+                if gap > 0:
+                    tail = list(journal.recent)[-gap:]
+                    shortfall = gap - len(tail)
+                    if shortfall > 0:
+                        lost += shortfall
+                        self._stats.record_lost_writes(shortfall)
+                    for predicate, selectivity in tail:
+                        await self._call_routed(
+                            key,
+                            "observe",
+                            {
+                                "table": key,
+                                "predicate": predicate,
+                                "selectivity": selectivity,
+                            },
+                        )
+                        replayed += 1
+                        self._stats.record_buffered_replay()
+                replayed += await self._replay_pending_for_key(key, journal)
+            restored += 1
+            try:
+                await self._refresh_snapshot(key)
+            except (WorkerUnavailableError, NetError, ServingError):
+                pass
+        if restored:
+            self._stats.record_checkpoint_restores(restored)
+        return {"keys": restored, "replayed": replayed, "lost": lost}
 
     async def refit_now(
         self, table: str | ModelKey, columns: Sequence[str] = ()
@@ -530,7 +886,12 @@ class SelectivityGateway:
         than a routine read."""
         key = normalize_key(table, columns)
         link = self._link_for(key)
-        return await link.call("refit_now", {"table": key}, timeout=None)
+        payload = await link.call("refit_now", {"table": key}, timeout=None)
+        try:
+            self._snapshots[key] = decode_snapshot(payload)
+        except Exception:
+            pass
+        return payload
 
     async def flush(self, blocking: bool = True) -> int:
         """Replay every worker's buffered observations; total applied."""
@@ -549,10 +910,14 @@ class SelectivityGateway:
 
         ``timeout`` is a *total* budget: each worker gets whatever
         remains when its turn comes, and an exhausted budget raises
-        :class:`ServingError` naming the workers still undrained.
+        :class:`ServingError` naming the workers still undrained.  An
+        unreachable worker is skipped — it must not burn the budget the
+        remaining workers need — and reported in one ServingError at
+        the end.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         names = self._router.shards
+        unreachable: list[str] = []
         for position, name in enumerate(names):
             remaining: float | None = None
             if deadline is not None:
@@ -562,10 +927,29 @@ class SelectivityGateway:
                         f"drain budget of {timeout}s exhausted with "
                         f"{len(names) - position} worker(s) undrained"
                     )
-            await self._links[name].call(
-                "drain",
-                {"timeout": remaining},
-                timeout=None if remaining is None else remaining + 5.0,
+            breaker = self._breakers.get(name)
+            if breaker is not None and not breaker.allow():
+                unreachable.append(name)
+                continue
+            try:
+                await self._links[name].call(
+                    "drain",
+                    {"timeout": remaining},
+                    timeout=None if remaining is None else remaining + 5.0,
+                )
+            except (WorkerUnavailableError, NetError) as error:
+                if isinstance(error, RemoteTimeoutError):
+                    raise  # the budget itself expired mid-drain
+                if breaker is not None and breaker.record_failure():
+                    self._stats.record_breaker_open()
+                unreachable.append(name)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+        if unreachable:
+            raise ServingError(
+                "drain skipped unreachable worker(s): "
+                + ", ".join(sorted(unreachable))
             )
 
     # ------------------------------------------------------------------
@@ -584,6 +968,7 @@ class SelectivityGateway:
                 raise ClusterError(f"worker {name!r} already on the ring")
             link = _WorkerLink(name, host, port, self._stats)
             await link.connect()
+            self._breakers[name] = self._new_breaker()
             placements: dict[ModelKey, str] = {}
             for owner in self._router.shards:
                 for key in await self._call_link(
@@ -628,6 +1013,7 @@ class SelectivityGateway:
                 await link.call("shutdown", timeout=None)
             await link.close()
             del self._links[name]
+            self._breakers.pop(name, None)
             self._stats.forget_worker(name)
             return len(keys)
 
@@ -674,6 +1060,9 @@ class SelectivityGateway:
         }
         merged["gateway"] = self._stats.snapshot()
         merged["unreachable"] = tuple(unreachable)
+        merged["breakers"] = {
+            name: breaker.state for name, breaker in self._breakers.items()
+        }
         return merged
 
     def __repr__(self) -> str:
@@ -698,6 +1087,7 @@ class GatewayServer:
             "ping",
             "worker_names",
             "set_worker_address",
+            "resync_worker",
             "register_model",
             "unregister_model",
             "model_keys",

@@ -45,6 +45,8 @@ WORKER_SUMMED_COUNTERS = (
     "sandwich_independence",
     "sandwich_upper_clamps",
     "sandwich_lower_clamps",
+    "checkpoints_taken",
+    "checkpoint_restores",
 )
 
 _BUFFER_COUNTERS = (
@@ -71,6 +73,13 @@ class GatewayStats:
         self.in_flight = 0
         self.fanouts = 0
         self.migrations = 0
+        self.degraded_estimates = 0
+        self.breaker_opens = 0
+        self.buffered_writes = 0
+        self.buffered_writes_replayed = 0
+        self.lost_writes = 0
+        self.checkpoint_restores = 0
+        self.health_failures = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -124,6 +133,47 @@ class GatewayStats:
         with self._lock:
             self.migrations += 1
 
+    def record_degraded(self, predicates: int = 1) -> None:
+        """``predicates`` reads were answered from the degraded path
+        (last-known snapshot or the configured prior) instead of a live
+        worker."""
+        with self._lock:
+            self.degraded_estimates += predicates
+
+    def record_breaker_open(self) -> None:
+        """A per-worker circuit breaker tripped open."""
+        with self._lock:
+            self.breaker_opens += 1
+
+    def record_buffered_write(self) -> None:
+        """An observe was acknowledged into the outage buffer."""
+        with self._lock:
+            self.buffered_writes += 1
+
+    def record_buffered_replay(self, count: int = 1) -> None:
+        """``count`` journaled/buffered writes were re-delivered to a
+        recovered worker."""
+        with self._lock:
+            self.buffered_writes_replayed += count
+
+    def record_lost_writes(self, count: int) -> None:
+        """``count`` acknowledged writes could not be re-delivered after
+        a restore (the journal was shorter than the gap) — the honest
+        counter the no-silent-loss contract hangs on."""
+        with self._lock:
+            self.lost_writes += count
+
+    def record_checkpoint_restores(self, keys: int = 1) -> None:
+        """``keys`` models came back from checkpoints on a resynced
+        worker."""
+        with self._lock:
+            self.checkpoint_restores += keys
+
+    def record_health_failure(self) -> None:
+        """A health-loop ping failed (the churn used to be silent)."""
+        with self._lock:
+            self.health_failures += 1
+
     def forget_worker(self, worker: str) -> None:
         """Drop a retired worker's latency window."""
         with self._lock:
@@ -169,6 +219,13 @@ class GatewayStats:
                 "in_flight": self.in_flight,
                 "fanouts": self.fanouts,
                 "migrations": self.migrations,
+                "degraded_estimates": self.degraded_estimates,
+                "breaker_opens": self.breaker_opens,
+                "buffered_writes": self.buffered_writes,
+                "buffered_writes_replayed": self.buffered_writes_replayed,
+                "lost_writes": self.lost_writes,
+                "checkpoint_restores": self.checkpoint_restores,
+                "health_failures": self.health_failures,
             }
 
     def snapshot(self) -> dict[str, object]:

@@ -34,10 +34,15 @@ from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
-from repro.exceptions import NetError, WorkerUnavailableError
+from repro.exceptions import NetError, ServingError, WorkerUnavailableError
 from repro.serving.policy import RefitPolicy
 from repro.serving.registry import ModelKey, normalize_key
 from repro.cluster.shard import ShardWorker
+from repro.net.checkpoint import (
+    CheckpointStore,
+    checkpoint_bundle,
+    restore_bundle,
+)
 from repro.net.protocol import (
     Request,
     Response,
@@ -153,7 +158,22 @@ class WorkerServer:
         scheduler_mode: str = "background",
         buffer_capacity: int | None = None,
         dispatch_threads: int = 8,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 64,
+        checkpoint_interval: float | None = None,
+        checkpoint_keep: int = 3,
     ) -> None:
+        """``checkpoint_dir``, when set, makes the worker durable: every
+        key is checkpointed after ``checkpoint_every`` writes (or when
+        ``checkpoint_interval`` seconds have passed since its last
+        checkpoint, whichever fires first), keeping the newest
+        ``checkpoint_keep`` versions — and any checkpoints already in
+        the directory are restored before the listener accepts traffic,
+        so a respawned worker boots serving what it last saved."""
+        if checkpoint_every < 1:
+            raise NetError("checkpoint_every must be at least 1")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise NetError("checkpoint_interval must be positive")
         self._worker = ShardWorker(
             shard_id,
             policy=policy,
@@ -162,6 +182,17 @@ class WorkerServer:
             scheduler_mode=scheduler_mode,
             buffer_capacity=buffer_capacity,
         )
+        self._checkpoints: CheckpointStore | None = None
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_interval = checkpoint_interval
+        self._ckpt_lock = threading.Lock()
+        self._writes_since: dict[ModelKey, int] = {}
+        self._last_checkpoint: dict[ModelKey, float] = {}
+        if checkpoint_dir is not None:
+            self._checkpoints = CheckpointStore(
+                checkpoint_dir, keep=checkpoint_keep
+            )
+            self._restore_from_checkpoints()
         self._listener = socket.create_server((host, port))
         self._host, self._port = self._listener.getsockname()[:2]
         self._pool = ThreadPoolExecutor(
@@ -197,6 +228,91 @@ class WorkerServer:
     def worker(self) -> ShardWorker:
         """The hosted shard (in-thread tests, metrics, debugging)."""
         return self._worker
+
+    @property
+    def checkpoints(self) -> CheckpointStore | None:
+        """The checkpoint store, when durability is configured."""
+        return self._checkpoints
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _restore_from_checkpoints(self) -> int:
+        """Reinstall every checkpointed key at boot; returns the count."""
+        assert self._checkpoints is not None
+        restored = 0
+        now = time.monotonic()
+        existing = set(self._worker.model_keys())
+        for bundle in self._checkpoints.latest_bundles():
+            key = bundle["key"]
+            if key in existing:
+                continue
+            restore_bundle(self._worker, bundle)
+            self._worker.stats.record_checkpoint_restore()
+            with self._ckpt_lock:
+                self._last_checkpoint[key] = now
+            restored += 1
+        return restored
+
+    def checkpoint_key(self, key: ModelKey) -> bool:
+        """Checkpoint one key now (no-op without a store or the key).
+
+        The bundle capture flushes the key's buffered feedback and
+        encodes the trainer under its lock, so concurrent observes on
+        the same key block briefly — the price of a consistent bundle.
+        """
+        if self._checkpoints is None:
+            return False
+        try:
+            bundle = checkpoint_bundle(self._worker, key)
+        except ServingError:
+            return False  # the key was withdrawn mid-flight
+        self._checkpoints.save(bundle)
+        with self._ckpt_lock:
+            self._writes_since[key] = 0
+            self._last_checkpoint[key] = time.monotonic()
+        self._worker.stats.record_checkpoint()
+        return True
+
+    def checkpoint_all(self, dirty_only: bool = False) -> int:
+        """Checkpoint every key (or only written-since-last ones)."""
+        if self._checkpoints is None:
+            return 0
+        written = 0
+        for key in self._worker.model_keys():
+            if dirty_only:
+                with self._ckpt_lock:
+                    if not self._writes_since.get(key):
+                        continue
+            if self.checkpoint_key(key):
+                written += 1
+        return written
+
+    def _note_write(self, key: ModelKey) -> None:
+        """Count one write toward the key's checkpoint policy."""
+        if self._checkpoints is None:
+            return
+        due = False
+        now = time.monotonic()
+        with self._ckpt_lock:
+            count = self._writes_since.get(key, 0) + 1
+            self._writes_since[key] = count
+            if count >= self._checkpoint_every:
+                due = True
+            elif self._checkpoint_interval is not None:
+                last = self._last_checkpoint.setdefault(key, now)
+                due = now - last >= self._checkpoint_interval
+        if due:
+            self.checkpoint_key(key)
+
+    def _discard_checkpoints(self, key: ModelKey) -> None:
+        """Forget a key's durable state once it leaves this worker."""
+        if self._checkpoints is None:
+            return
+        self._checkpoints.discard(key)
+        with self._ckpt_lock:
+            self._writes_since.pop(key, None)
+            self._last_checkpoint.pop(key, None)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -246,6 +362,13 @@ class WorkerServer:
             except OSError:
                 pass
         self._pool.shutdown(wait=True)
+        if self._checkpoints is not None:
+            # Best-effort durability on the way down: a graceful stop
+            # loses nothing, so only crashes lean on the write journal.
+            try:
+                self.checkpoint_all(dirty_only=True)
+            except Exception:
+                pass
         self._worker.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
@@ -343,19 +466,24 @@ class WorkerServer:
         refit_backlog: bool = True,
         initial_errors: Sequence[float] = (),
     ) -> ModelKey:
-        return self._worker.register_model(
+        key = self._worker.register_model(
             table,
             decode_backend(backend),
             columns=columns,
             refit_backlog=refit_backlog,
             initial_errors=initial_errors,
         )
+        if self._checkpoints is not None:
+            self.checkpoint_key(key)  # durable baseline from the start
+        return key
 
     def _do_unregister_model(
         self, table: str | ModelKey, columns: Sequence[str] = ()
     ) -> bytes:
         key = normalize_key(table, columns)
-        return encode_backend(self._worker.unregister_model(key))
+        payload = encode_backend(self._worker.unregister_model(key))
+        self._discard_checkpoints(key)
+        return payload
 
     def _do_register_challenger(
         self,
@@ -389,9 +517,11 @@ class WorkerServer:
     def _do_promote(
         self, table: str | ModelKey, columns: Sequence[str] = ()
     ) -> bytes:
-        return encode_backend(
-            self._worker.promote(normalize_key(table, columns))
-        )
+        key = normalize_key(table, columns)
+        payload = encode_backend(self._worker.promote(key))
+        if self._checkpoints is not None:
+            self.checkpoint_key(key)  # the served champion changed
+        return payload
 
     def _do_model_keys(self) -> tuple[ModelKey, ...]:
         return tuple(self._worker.model_keys())
@@ -432,7 +562,12 @@ class WorkerServer:
         columns: Sequence[str] = (),
     ) -> bool:
         key = normalize_key(table, columns)
-        return self._worker.observe(key, predicate, selectivity)
+        # The return value reports whether a refit was triggered; the
+        # observation itself is buffered either way, so it always counts
+        # toward the checkpoint policy.
+        refit_triggered = self._worker.observe(key, predicate, selectivity)
+        self._note_write(key)
+        return refit_triggered
 
     def _do_refit_now(
         self, table: str | ModelKey, columns: Sequence[str] = ()
@@ -463,10 +598,28 @@ class WorkerServer:
     def _do_migrate_out(
         self, table: str | ModelKey, columns: Sequence[str] = ()
     ) -> dict[str, Any]:
-        return migration_bundle(self._worker, normalize_key(table, columns))
+        key = normalize_key(table, columns)
+        bundle = migration_bundle(self._worker, key)
+        self._discard_checkpoints(key)
+        return bundle
 
     def _do_migrate_in(self, bundle: dict[str, Any]) -> ModelKey:
-        return install_bundle(self._worker, bundle)
+        key = install_bundle(self._worker, bundle)
+        if self._checkpoints is not None:
+            self.checkpoint_key(key)
+        return key
+
+    def _do_checkpoint(
+        self,
+        table: str | ModelKey | None = None,
+        columns: Sequence[str] = (),
+    ) -> int:
+        """Force a checkpoint of one key (or all) now; returns the count."""
+        if self._checkpoints is None:
+            return 0
+        if table is not None:
+            return int(self.checkpoint_key(normalize_key(table, columns)))
+        return self.checkpoint_all()
 
     def _do_shutdown(self) -> str:
         return "stopping"  # _handle closes the server after the reply
@@ -546,14 +699,12 @@ class WorkerProcess:
                 )
             self._host, self._port = parent.recv()
         except (EOFError, OSError) as error:
-            self._process.terminate()
-            self._process.join(timeout=5.0)
+            self.terminate()
             raise WorkerUnavailableError(
                 f"worker {shard_id!r} died before reporting an address"
             ) from error
         except WorkerUnavailableError:
-            self._process.terminate()
-            self._process.join(timeout=5.0)
+            self.terminate()
             raise
         finally:
             parent.close()
@@ -602,15 +753,31 @@ class WorkerProcess:
             ) from error
         self._process.join(timeout=timeout)
 
-    def kill(self) -> None:
-        """Hard-kill the child (fault-injection tests)."""
+    @property
+    def exitcode(self) -> int | None:
+        """The child's exit code (None while it is still running)."""
+        return self._process.exitcode
+
+    def kill(self) -> int | None:
+        """Hard-kill the child (fault injection); returns the exit code."""
         self._process.kill()
         self._process.join(timeout=10.0)
+        return self._process.exitcode
 
-    def terminate(self) -> None:
-        """SIGTERM the child and reap it."""
+    def terminate(self, timeout: float = 5.0) -> int | None:
+        """SIGTERM the child and reap it, escalating to SIGKILL.
+
+        A child that ignores SIGTERM for ``timeout`` seconds (wedged in
+        native code, stopped, or shutting down forever) is killed
+        outright — a dead-but-unreaped worker must not linger as a
+        zombie or hold its port.  Returns the reaped exit code.
+        """
         self._process.terminate()
-        self._process.join(timeout=10.0)
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=10.0)
+        return self._process.exitcode
 
     def join(self, timeout: float | None = None) -> None:
         """Wait for the child to exit."""

@@ -45,6 +45,7 @@ predicate against the *same* snapshot version, in input order.
 
 from __future__ import annotations
 
+import copy
 import math
 import threading
 import time
@@ -324,6 +325,39 @@ class SelectivityService:
         served = self._served_model(self._key(table, columns))
         with served.lock:
             return tuple(served.errors)
+
+    def export_trainer(
+        self,
+        table: str | ModelKey,
+        columns: Sequence[str] = (),
+        serializer: "Callable[[TrainableBackend], object] | None" = None,
+    ) -> object:
+        """Serialise a key's live trainer *without* withdrawing it.
+
+        The checkpoint layer's non-destructive twin of
+        :meth:`unregister_model`: ``serializer`` (default
+        :func:`copy.deepcopy`) runs under the served model's lock, so the
+        captured trainer is internally consistent even while feedback and
+        refits race on — and the key keeps serving throughout.
+        """
+        served = self._served_model(self._key(table, columns))
+        if serializer is None:
+            serializer = copy.deepcopy
+        with served.lock:
+            return serializer(served.trainer)
+
+    def export_challenger(
+        self,
+        table: str | ModelKey,
+        columns: Sequence[str] = (),
+        serializer: "Callable[[TrainableBackend], object] | None" = None,
+    ) -> object:
+        """Serialise a key's live challenger trainer without withdrawing it."""
+        challenger = self._challenger_model(self._key(table, columns))
+        if serializer is None:
+            serializer = copy.deepcopy
+        with challenger.lock:
+            return serializer(challenger.trainer)
 
     # ------------------------------------------------------------------
     # Champion/challenger lifecycle (A/B serving)

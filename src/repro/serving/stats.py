@@ -64,6 +64,8 @@ class ServingStats:
         self.sandwich_independence = 0
         self.sandwich_upper_clamps = 0
         self.sandwich_lower_clamps = 0
+        self.checkpoints_taken = 0
+        self.checkpoint_restores = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -180,6 +182,16 @@ class ServingStats:
         """A challenger was atomically promoted to champion."""
         with self._lock:
             self.promotions += 1
+
+    def record_checkpoint(self) -> None:
+        """One durable checkpoint bundle was written for a key."""
+        with self._lock:
+            self.checkpoints_taken += 1
+
+    def record_checkpoint_restore(self) -> None:
+        """One key was rebuilt from its latest checkpoint at boot."""
+        with self._lock:
+            self.checkpoint_restores += 1
 
     def record_sandwich(self, source: str, clamped: str | None) -> None:
         """One sandwiched join estimate was served.
@@ -355,6 +367,8 @@ class ServingStats:
                 "sandwich_independence": self.sandwich_independence,
                 "sandwich_upper_clamps": self.sandwich_upper_clamps,
                 "sandwich_lower_clamps": self.sandwich_lower_clamps,
+                "checkpoints_taken": self.checkpoints_taken,
+                "checkpoint_restores": self.checkpoint_restores,
             }
 
     def snapshot(self) -> dict[str, object]:

@@ -101,3 +101,69 @@ class TestServeCommands:
 
         with pytest.raises(ExperimentError, match="at least one"):
             main(["serve", "--run-seconds", "0.1"])
+
+
+class TestSuperviseCommand:
+    def test_supervise_subcommand_parses(self):
+        parser = build_parser()
+        namespace = parser.parse_args(
+            [
+                "supervise",
+                "--checkpoint-dir",
+                "/tmp/ckpts",
+                "--workers",
+                "3",
+                "--max-restarts",
+                "2",
+                "--write-buffer",
+                "0",
+            ]
+        )
+        assert namespace.experiment == "supervise"
+        assert namespace.checkpoint_dir == "/tmp/ckpts"
+        assert namespace.workers == 3
+        assert namespace.max_restarts == 2
+        assert namespace.write_buffer == 0
+
+    def test_supervise_requires_checkpoint_dir(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["supervise"])
+
+    def test_supervise_requires_workers(self, tmp_path):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="at least one"):
+            main(
+                [
+                    "supervise",
+                    "--checkpoint-dir",
+                    str(tmp_path / "ckpts"),
+                    "--workers",
+                    "0",
+                    "--run-seconds",
+                    "0.1",
+                ]
+            )
+
+    def test_supervise_runs_bounded(self, capsys, tmp_path):
+        checkpoint_dir = tmp_path / "ckpts"
+        report = main(
+            [
+                "supervise",
+                "--checkpoint-dir",
+                str(checkpoint_dir),
+                "--workers",
+                "1",
+                "--run-seconds",
+                "1.0",
+                "--health-interval",
+                "0.2",
+                "--poll-interval",
+                "0.1",
+            ]
+        )
+        assert report == "supervised fleet stopped (1 worker(s))"
+        captured = capsys.readouterr()
+        assert "supervised gateway on 127.0.0.1:" in captured.out
+        assert checkpoint_dir.joinpath("worker-0").is_dir()
