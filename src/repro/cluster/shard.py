@@ -43,7 +43,7 @@ from repro.serving.cache import EstimateCache
 from repro.serving.policy import RefitPolicy
 from repro.serving.registry import EstimatorRegistry, ModelKey
 from repro.serving.scheduler import RefitScheduler
-from repro.serving.service import SelectivityService
+from repro.serving.service import FastSlot, SelectivityService
 from repro.serving.snapshot import ModelSnapshot
 from repro.serving.stats import ServingStats
 from repro.cluster.buffer import BufferedObservation, ObservationBuffer
@@ -84,6 +84,11 @@ class ShardWorker:
             stats=ServingStats(),
         )
         self._buffer = ObservationBuffer(capacity=buffer_capacity)
+        # Per-key fast slots for scalar reads: snapshot cell, cache, and
+        # stats sink resolved once per key, request accounting buffered
+        # and flushed whenever the stats surface is read (see ``stats``)
+        # or the shard drains/closes/hands a key off.
+        self._read_slots: dict[ModelKey, FastSlot] = {}
         # Replay buffered feedback the moment each refit publishes; the
         # service's own cache-invalidation listener was registered first,
         # so replays always price against a clean cache.
@@ -109,7 +114,8 @@ class ShardWorker:
 
     @property
     def stats(self) -> ServingStats:
-        """The shard's metrics surface."""
+        """The shard's metrics surface (flushes buffered read accounting)."""
+        self._flush_read_slots()
         return self._service.stats
 
     @property
@@ -140,6 +146,9 @@ class ShardWorker:
     def unregister_model(self, key: ModelKey) -> TrainableBackend:
         """Hand off a key's backend (migration); flushes its backlog first."""
         self.flush(key, blocking=True)
+        slot = self._read_slots.pop(key, None)
+        if slot is not None:
+            slot.flush()
         return self._service.unregister_model(key)
 
     def register_challenger(
@@ -198,8 +207,19 @@ class ShardWorker:
     # Reads (lock-free with respect to training)
     # ------------------------------------------------------------------
     def estimate(self, key: ModelKey, predicate: object) -> float:
-        """Scalar estimate from the shard's current snapshot."""
-        return self._service.estimate(key, predicate)
+        """Scalar estimate from the shard's current snapshot.
+
+        Served through a per-key :class:`~repro.serving.service.FastSlot`
+        — the snapshot cell, cache, and stats sink are resolved once per
+        key, and request accounting is buffered until the stats surface
+        is next read (``stats``/``drain``/``close``/hand-off all flush).
+        """
+        slot = self._read_slots.get(key)
+        if slot is None:
+            slot = self._read_slots.setdefault(
+                key, self._service.fast_slot(key, flush_every=32)
+            )
+        return slot.estimate(predicate)
 
     def estimate_batch(
         self, key: ModelKey, predicates: Sequence[object]
@@ -294,15 +314,22 @@ class ShardWorker:
         """Replay every buffered observation, then wait out refits."""
         self.flush(blocking=True)
         self._service.drain(timeout)
+        self._flush_read_slots()
 
     def close(self) -> None:
         """Shut the shard down (service listener, scheduler). Idempotent."""
+        self._flush_read_slots()
         self._service.close()
         self._scheduler.shutdown()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _flush_read_slots(self) -> None:
+        """Push every fast slot's buffered request accounting to stats."""
+        for slot in list(self._read_slots.values()):
+            slot.flush()
+
     def _on_publish(self, key: ModelKey, snapshot: ModelSnapshot) -> None:
         # Runs on the refit thread, which still holds the trainer lock
         # re-entrantly — the non-blocking apply cannot be refused, so the

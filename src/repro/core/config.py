@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import TrainingError
+from repro.kernels import decay_weights as _decay_weights_kernel
 
 __all__ = ["QuickSelConfig"]
 
@@ -186,7 +187,9 @@ class QuickSelConfig:
             raise TrainingError(
                 "decay_weights is only defined for window_policy 'decayed'"
             )
-        return np.power(0.5, np.asarray(ages, dtype=float) / self.decay_half_life)
+        return _decay_weights_kernel(
+            np.asarray(ages, dtype=float), self.decay_half_life
+        )
 
     def subpopulation_budget(self, observed_queries: int) -> int:
         """Model size ``m`` for a given number of observed queries."""

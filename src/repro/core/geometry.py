@@ -25,6 +25,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.exceptions import GeometryError
+from repro.kernels import intersection_volumes as _intersection_volumes_kernel
 
 __all__ = [
     "Interval",
@@ -443,14 +444,13 @@ def intersection_volumes_from_bounds(
     The raw-array form of :func:`cross_intersection_volumes`; it is the
     batched-estimation hot path, where the column side (the model's
     subpopulations) is stacked once at model construction and the row side
-    (predicate boxes) once per batch.
+    (predicate boxes) once per batch.  Evaluation happens on the active
+    :mod:`repro.kernels` backend (numba-jitted when importable, the NumPy
+    reference otherwise — see :func:`repro.kernels.backend_report`).
     """
-    if row_lower.size == 0 or col_lower.size == 0:
-        return np.zeros((row_lower.shape[0], col_lower.shape[0]))
-    joint_lower = np.maximum(row_lower[:, None, :], col_lower[None, :, :])
-    joint_upper = np.minimum(row_upper[:, None, :], col_upper[None, :, :])
-    widths = np.clip(joint_upper - joint_lower, 0.0, None)
-    return widths.prod(axis=2)
+    return _intersection_volumes_kernel(
+        row_lower, row_upper, col_lower, col_upper
+    )
 
 
 def pairwise_intersection_volumes(boxes: Sequence[Hyperrectangle]) -> np.ndarray:

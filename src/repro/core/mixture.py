@@ -27,6 +27,12 @@ from repro.core.geometry import (
 from repro.core.region import Region
 from repro.core.subpopulation import Subpopulation
 from repro.exceptions import TrainingError
+from repro.kernels import (
+    get_arena,
+    owners_array,
+    stack_pieces,
+    weighted_overlap_estimates_into,
+)
 
 __all__ = ["UniformMixtureModel"]
 
@@ -63,6 +69,9 @@ class UniformMixtureModel:
         # weight/volume ratio each overlap volume is dotted with.
         self._component_lower, self._component_upper = stack_bounds(self._boxes)
         self._weight_over_volume = self._weights / self._volumes
+        # float32 twins of the stacked geometry, built lazily on the
+        # first reduced-precision batch call (see estimate_from_bounds).
+        self._components_f32: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Properties
@@ -186,6 +195,7 @@ class UniformMixtureModel:
         piece_upper: Sequence[np.ndarray],
         owners: Sequence[int],
         count: int,
+        dtype: object = None,
     ) -> np.ndarray:
         """Batched estimation from raw predicate-piece bounds.
 
@@ -197,20 +207,53 @@ class UniformMixtureModel:
         straight to bounds (see
         :meth:`repro.core.quicksel.QuickSel.estimate_many`) skip
         :class:`Hyperrectangle`/:class:`Region` construction entirely.
+
+        All scratch comes from the calling thread's
+        :class:`~repro.kernels.arena.KernelArena`, so a warm batch call
+        allocates only the returned ``(count,)`` result.  ``dtype=
+        numpy.float32`` selects the reduced-precision variant (halved
+        kernel bandwidth, parity ≤1e-6); the default is full float64.
         """
         if not len(owners):
             return np.zeros(count)
-        overlaps = intersection_volumes_from_bounds(
-            np.stack(piece_lower),
-            np.stack(piece_upper),
-            self._component_lower,
-            self._component_upper,
+        arena = get_arena()
+        if dtype is None or np.dtype(dtype) == np.float64:
+            work_dtype = np.float64
+            col_lower = self._component_lower
+            col_upper = self._component_upper
+            weight_over_volume = self._weight_over_volume
+        else:
+            work_dtype = np.dtype(dtype)
+            if self._components_f32 is None:
+                self._components_f32 = (
+                    self._component_lower.astype(np.float32),
+                    self._component_upper.astype(np.float32),
+                    self._weight_over_volume.astype(np.float32),
+                )
+            col_lower, col_upper, weight_over_volume = self._components_f32
+        rows_lower = stack_pieces(piece_lower, "kernels.rows_lower", arena, work_dtype)
+        rows_upper = stack_pieces(piece_upper, "kernels.rows_upper", arena, work_dtype)
+        owner_view, identity = owners_array(
+            owners, count, "kernels.owners", arena
         )
-        per_piece = overlaps @ self._weight_over_volume
-        estimates = np.bincount(
-            np.asarray(owners, dtype=np.intp), weights=per_piece, minlength=count
+        pieces, components = rows_lower.shape[0], col_lower.shape[0]
+        width = rows_lower.shape[1] if pieces else 0
+        out = np.zeros(count, dtype=work_dtype)
+        weighted_overlap_estimates_into(
+            rows_lower,
+            rows_upper,
+            owner_view,
+            col_lower,
+            col_upper,
+            weight_over_volume,
+            arena.request("kernels.scratch_a", (pieces, components, width), work_dtype),
+            arena.request("kernels.scratch_b", (pieces, components, width), work_dtype),
+            arena.request("kernels.overlaps", (pieces, components), work_dtype),
+            arena.request("kernels.per_piece", (pieces,), work_dtype),
+            out,
+            owners_identity=identity,
         )
-        return np.clip(estimates, 0.0, 1.0)
+        return out
 
     # ------------------------------------------------------------------
     # Transformations

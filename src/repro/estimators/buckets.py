@@ -23,12 +23,17 @@ import numpy as np
 from repro.core.geometry import (
     Hyperrectangle,
     cross_intersection_volumes,
-    intersection_volumes_from_bounds,
     stack_bounds,
 )
 from repro.core.predicate import lower_batch
 from repro.core.region import Region
 from repro.exceptions import EstimatorError
+from repro.kernels import (
+    get_arena,
+    owners_array,
+    stack_pieces,
+    weighted_overlap_estimates_into,
+)
 
 __all__ = ["Bucket", "BucketSet", "BucketBatchEstimation", "drill"]
 
@@ -65,6 +70,12 @@ class BucketSet:
         self._geometry: (
             tuple[list[Bucket], int, np.ndarray, np.ndarray, np.ndarray] | None
         ) = None
+        # Cached frequency/volume vector for the batch kernel, keyed the
+        # same way *plus* an explicit dirty protocol: in-place frequency
+        # edits keep both the list object and its length, so mutators
+        # must call mark_frequencies_dirty() (set_frequencies does;
+        # STHoles feedback scaling does).
+        self._frequency_cache: tuple[list[Bucket], int, np.ndarray] | None = None
 
     @classmethod
     def initial(cls, domain: Hyperrectangle) -> "BucketSet":
@@ -109,6 +120,17 @@ class BucketSet:
             )
         for bucket, value in zip(self.buckets, values):
             bucket.frequency = float(value)
+        self.mark_frequencies_dirty()
+
+    def mark_frequencies_dirty(self) -> None:
+        """Invalidate the cached frequency/volume vector.
+
+        Required after any *in-place* ``bucket.frequency`` edit that
+        leaves the bucket list object and its length unchanged (the
+        geometry key cannot see those).  Rebinding or resizing the list
+        invalidates the cache on its own.
+        """
+        self._frequency_cache = None
 
     # ------------------------------------------------------------------
     # Estimation
@@ -141,34 +163,65 @@ class BucketSet:
         piece_upper: Sequence[np.ndarray],
         owners: Sequence[int],
         count: int,
+        dtype: object = None,
     ) -> np.ndarray:
         """Batched estimation from raw predicate-piece bounds.
 
         Same contract as :meth:`repro.core.mixture.UniformMixtureModel.
         estimate_from_bounds`: one ``(d,)`` corner pair per disjoint
         predicate piece, ``owners[i]`` naming the owning predicate, and
-        one intersection-kernel call for the whole batch — the serving
-        layer's vectorised fast path, now shared by every bucket-based
-        histogram (ST-Holes, ISOMER).  Elementwise equal to
-        :meth:`estimate_region` per predicate, clipped to ``[0, 1]``.
+        one shared :func:`~repro.kernels.weighted_overlap_estimates_into`
+        call for the whole batch — a bucket histogram is the same kernel
+        as a mixture model with ``frequency/volume`` standing in for
+        ``weight/volume``.  Elementwise equal to :meth:`estimate_region`
+        per predicate, clipped to ``[0, 1]``.  Scratch comes from the
+        calling thread's arena; a warm call allocates only the returned
+        ``(count,)`` result.
         """
         if not len(owners) or not self.buckets:
             return np.zeros(count)
         bucket_lower, bucket_upper, volumes = self._stacked_geometry()
-        overlaps = intersection_volumes_from_bounds(
-            np.stack(piece_lower), np.stack(piece_upper),
-            bucket_lower, bucket_upper,
+        freq_over_volume = self._frequency_over_volume(volumes)
+        arena = get_arena()
+        if dtype is None or np.dtype(dtype) == np.float64:
+            work_dtype = np.float64
+            col_lower, col_upper = bucket_lower, bucket_upper
+            weights = freq_over_volume
+        else:
+            work_dtype = np.dtype(dtype)
+            col_lower = arena.request(
+                "kernels.col_lower", bucket_lower.shape, work_dtype
+            )
+            col_lower[...] = bucket_lower
+            col_upper = arena.request(
+                "kernels.col_upper", bucket_upper.shape, work_dtype
+            )
+            col_upper[...] = bucket_upper
+            weights = arena.request(
+                "kernels.col_weights", freq_over_volume.shape, work_dtype
+            )
+            weights[...] = freq_over_volume
+        rows_lower = stack_pieces(piece_lower, "kernels.rows_lower", arena, work_dtype)
+        rows_upper = stack_pieces(piece_upper, "kernels.rows_upper", arena, work_dtype)
+        owner_view, identity = owners_array(owners, count, "kernels.owners", arena)
+        pieces, components = rows_lower.shape[0], col_lower.shape[0]
+        width = rows_lower.shape[1] if pieces else 0
+        out = np.zeros(count, dtype=work_dtype)
+        weighted_overlap_estimates_into(
+            rows_lower,
+            rows_upper,
+            owner_view,
+            col_lower,
+            col_upper,
+            weights,
+            arena.request("kernels.scratch_a", (pieces, components, width), work_dtype),
+            arena.request("kernels.scratch_b", (pieces, components, width), work_dtype),
+            arena.request("kernels.overlaps", (pieces, components), work_dtype),
+            arena.request("kernels.per_piece", (pieces,), work_dtype),
+            out,
+            owners_identity=identity,
         )
-        fractions = np.divide(
-            overlaps, volumes, out=np.zeros_like(overlaps),
-            where=volumes > 0,
-        )
-        per_piece = fractions @ self.frequencies
-        estimates = np.bincount(
-            np.asarray(owners, dtype=np.intp), weights=per_piece,
-            minlength=count,
-        )
-        return np.clip(estimates, 0.0, 1.0)
+        return out
 
     def _stacked_geometry(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Cached ``(lower, upper, volumes)`` stacks of the bucket boxes.
@@ -190,6 +243,29 @@ class BucketSet:
         volumes = np.array([bucket.volume for bucket in buckets])
         self._geometry = (buckets, len(buckets), lower, upper, volumes)
         return lower, upper, volumes
+
+    def _frequency_over_volume(self, volumes: np.ndarray) -> np.ndarray:
+        """Cached ``frequency / volume`` vector for the batch kernel.
+
+        Keyed on (list identity, length) like the geometry cache and
+        additionally invalidated by :meth:`mark_frequencies_dirty` for
+        in-place frequency edits the key cannot detect.
+        """
+        buckets = self.buckets
+        cached = self._frequency_cache
+        if (
+            cached is not None
+            and cached[0] is buckets
+            and cached[1] == len(buckets)
+        ):
+            return cached[2]
+        frequencies = np.array([bucket.frequency for bucket in buckets])
+        ratio = np.divide(
+            frequencies, volumes, out=np.zeros_like(frequencies),
+            where=volumes > 0,
+        )
+        self._frequency_cache = (buckets, len(buckets), ratio)
+        return ratio
 
     def membership_matrix(self, regions: Sequence[Region]) -> np.ndarray:
         """0/1 matrix saying which buckets lie inside which predicate regions.
@@ -238,10 +314,11 @@ class BucketBatchEstimation:
         piece_upper: Sequence[np.ndarray],
         owners: Sequence[int],
         count: int,
+        dtype: object = None,
     ) -> np.ndarray:
         """Raw-bounds batch surface (the serving snapshot's fast path)."""
         return self._buckets.estimate_from_bounds(
-            piece_lower, piece_upper, owners, count
+            piece_lower, piece_upper, owners, count, dtype=dtype
         )
 
 

@@ -103,6 +103,9 @@ class STHoles(BucketBatchEstimation, QueryDrivenEstimator):
             for index, bucket in enumerate(buckets):
                 if index not in inside_set:
                     bucket.frequency *= scale
+        # Every branch above edits frequencies in place without touching
+        # the list object — the cache key cannot see it.
+        self._buckets.mark_frequencies_dirty()
 
     def _merge_to_budget(self) -> None:
         """Merge buckets until the budget is respected (frequency-conserving)."""
@@ -118,6 +121,7 @@ class STHoles(BucketBatchEstimation, QueryDrivenEstimator):
             distances = np.linalg.norm(centers - victim_bucket.box.center, axis=1)
             receiver = int(distances.argmin())
             buckets[receiver].frequency += victim_bucket.frequency
+        self._buckets.mark_frequencies_dirty()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,143 @@
+"""Numba-jitted implementations of the hot estimation kernels.
+
+Importing this module raises ``ImportError`` when numba is absent; the
+package ``__init__`` catches that and falls back to the NumPy reference
+backend with an explicit report — selection happens exactly once, at
+import, never silently per call.
+
+The jitted kernels fuse the broadcast/temporary pipeline of the
+reference into single passes: no ``(n, m, d)`` intermediate is ever
+materialised, the per-piece dot product happens inside the overlap loop,
+and an empty dimension short-circuits the volume product.  All kernels
+are compiled for float64 and float32 via lazy dispatch, and the ``*_into``
+variants write only into caller-owned buffers (the arena contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # raises ImportError without numba; caught by __init__
+
+__all__ = [
+    "intersection_volumes",
+    "intersection_volumes_into",
+    "weighted_overlap_estimates",
+    "weighted_overlap_estimates_into",
+    "decay_weights",
+    "decay_weights_into",
+]
+
+
+@njit(cache=True, fastmath=False)
+def _volumes_kernel(row_lower, row_upper, col_lower, col_upper, out):
+    n, d = row_lower.shape
+    m = col_lower.shape[0]
+    for i in range(n):
+        for j in range(m):
+            volume = 1.0
+            for k in range(d):
+                low = max(row_lower[i, k], col_lower[j, k])
+                high = min(row_upper[i, k], col_upper[j, k])
+                width = high - low
+                if width <= 0.0:
+                    volume = 0.0
+                    break
+                volume *= width
+            out[i, j] = volume
+    return out
+
+
+@njit(cache=True, fastmath=False)
+def _estimates_kernel(
+    piece_lower, piece_upper, owners, col_lower, col_upper,
+    weight_over_volume, out,
+):
+    n, d = piece_lower.shape
+    m = col_lower.shape[0]
+    out[:] = 0.0
+    for i in range(n):
+        acc = 0.0
+        for j in range(m):
+            volume = 1.0
+            for k in range(d):
+                low = max(piece_lower[i, k], col_lower[j, k])
+                high = min(piece_upper[i, k], col_upper[j, k])
+                width = high - low
+                if width <= 0.0:
+                    volume = 0.0
+                    break
+                volume *= width
+            acc += volume * weight_over_volume[j]
+        out[owners[i]] += acc
+    for i in range(out.shape[0]):
+        if out[i] < 0.0:
+            out[i] = 0.0
+        elif out[i] > 1.0:
+            out[i] = 1.0
+    return out
+
+
+@njit(cache=True, fastmath=False)
+def _decay_kernel(ages, half_life, out):
+    for i in range(ages.shape[0]):
+        out[i] = 2.0 ** (-ages[i] / half_life)
+    return out
+
+
+def intersection_volumes(row_lower, row_upper, col_lower, col_upper):
+    out = np.empty(
+        (row_lower.shape[0], col_lower.shape[0]), dtype=row_lower.dtype
+    )
+    if row_lower.size == 0 or col_lower.size == 0:
+        out[...] = 0.0
+        return out
+    return _volumes_kernel(row_lower, row_upper, col_lower, col_upper, out)
+
+
+def intersection_volumes_into(
+    row_lower, row_upper, col_lower, col_upper, scratch_a, scratch_b, out
+):
+    # The fused kernel needs no (n, m, d) scratch; the buffers are part
+    # of the backend-agnostic signature and simply stay untouched here.
+    if row_lower.size == 0 or col_lower.size == 0:
+        out[...] = 0.0
+        return out
+    return _volumes_kernel(row_lower, row_upper, col_lower, col_upper, out)
+
+
+def weighted_overlap_estimates(
+    piece_lower, piece_upper, owners, count, col_lower, col_upper,
+    weight_over_volume,
+):
+    out = np.zeros(count, dtype=weight_over_volume.dtype)
+    if piece_lower.shape[0] == 0 or col_lower.shape[0] == 0:
+        return out
+    return _estimates_kernel(
+        piece_lower, piece_upper, owners, col_lower, col_upper,
+        weight_over_volume, out,
+    )
+
+
+def weighted_overlap_estimates_into(
+    piece_lower, piece_upper, owners, col_lower, col_upper,
+    weight_over_volume, scratch_a, scratch_b, overlap_scratch,
+    piece_scratch, out, owners_identity=False,
+):
+    if piece_lower.shape[0] == 0 or col_lower.shape[0] == 0:
+        out[...] = 0.0
+        return out
+    return _estimates_kernel(
+        piece_lower, piece_upper, owners, col_lower, col_upper,
+        weight_over_volume, out,
+    )
+
+
+def decay_weights(ages, half_life):
+    out = np.empty(ages.shape[0], dtype=np.float64)
+    return _decay_kernel(
+        np.asarray(ages, dtype=np.float64), float(half_life), out
+    )
+
+
+def decay_weights_into(ages, half_life, out):
+    return _decay_kernel(ages, float(half_life), out)

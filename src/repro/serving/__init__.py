@@ -32,25 +32,33 @@ snapshot version and matches per-predicate ``estimate`` to < 1e-9.
 """
 
 from repro.serving.adapter import SelectivityServing, ServingEstimator
-from repro.serving.cache import EstimateCache, predicate_cache_key
+from repro.serving.cache import EstimateCache, FrequencySketch, predicate_cache_key
 from repro.serving.policy import RefitDecision, RefitPolicy
-from repro.serving.registry import EstimatorRegistry, ModelKey, normalize_key
+from repro.serving.registry import (
+    EstimatorRegistry,
+    ModelKey,
+    SnapshotCell,
+    normalize_key,
+)
 from repro.serving.scheduler import RefitScheduler
-from repro.serving.service import SelectivityService
+from repro.serving.service import FastSlot, SelectivityService
 from repro.serving.snapshot import ModelSnapshot
 from repro.serving.stats import ServingStats
 
 __all__ = [
     "ModelSnapshot",
     "ModelKey",
+    "SnapshotCell",
     "normalize_key",
     "EstimatorRegistry",
     "EstimateCache",
+    "FrequencySketch",
     "predicate_cache_key",
     "RefitPolicy",
     "RefitDecision",
     "RefitScheduler",
     "ServingStats",
+    "FastSlot",
     "SelectivityService",
     "SelectivityServing",
     "ServingEstimator",

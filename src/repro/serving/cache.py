@@ -18,19 +18,31 @@ predicate) -> estimate``.  Two design points:
   burst against one hot table evicts its *own* oldest entries instead of
   flushing every other table's working set out of the shared LRU.
 * **Optional TTLs.**  With ``ttl_seconds`` set, entries expire that many
-  seconds after insertion.  Expiry is checked lazily on read — an
-  expired entry is evicted and reported as a miss — so there is no
-  background sweeper thread; version-scoped keys already guarantee
+  seconds after insertion.  There is no background sweeper thread:
+  expired entries are swept (via an amortised-O(1) deadline-ordered
+  deque) on reads, size queries, and — crucially — *before* any
+  capacity eviction, so a dead entry is never counted and never causes
+  a live entry's eviction; version-scoped keys already guarantee
   correctness, a TTL just bounds how long a dead version's entries (or
   entries for churning ad-hoc predicates) can squat in the LRU.
+* **Optional TinyLFU admission.**  With ``admission="tinylfu"``, a
+  :class:`FrequencySketch` (count-min, 4-bit counters, periodic halving)
+  gates entry to a full cache: a new key must have been looked up at
+  least twice recently *and* be recently-more-popular than the LRU
+  victim it would evict.  Lookups (hits and misses alike) are what
+  count as accesses, so a key that keeps being asked for is admitted
+  eventually — but a one-pass scan, whose keys are each looked up
+  exactly once, stops flushing the hot working set.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
-from collections.abc import Hashable
+from collections import OrderedDict, deque
+from collections.abc import Callable, Hashable
+
+import numpy as np
 
 from repro.core.geometry import Hyperrectangle
 from repro.core.predicate import (
@@ -47,7 +59,7 @@ from repro.core.predicate import (
 from repro.core.region import Region
 from repro.exceptions import ServingError
 
-__all__ = ["EstimateCache", "predicate_cache_key"]
+__all__ = ["EstimateCache", "FrequencySketch", "predicate_cache_key"]
 
 
 def _constraint_key(constraint: Constraint) -> Hashable:
@@ -91,10 +103,86 @@ def predicate_cache_key(predicate: Predicate | Hyperrectangle | Region) -> Hasha
 
 
 def _model_key_of(key: Hashable) -> Hashable | None:
-    """The model-key component of a cache key (None for foreign keys)."""
-    if isinstance(key, tuple) and key:
+    """The model-key component of a cache key (None for foreign keys).
+
+    Service-shaped cache keys are exactly ``(model_key, version,
+    predicate_token)`` 3-tuples with an integer version.  The arity and
+    version check matter: predicate tokens themselves are 1–2-tuples
+    (``("H", bytes)``, ``("T",)``) and constraint keys are 4-tuples, so
+    a bare token cached directly must *not* be bucketed under its first
+    element — a ``("H", ...)`` entry attributed to a phantom model key
+    ``"H"`` would be silently dropped by ``invalidate("H")`` and counted
+    against the wrong per-key budget.
+    """
+    if isinstance(key, tuple) and len(key) == 3 and isinstance(key[1], int):
         return key[0]
     return None
+
+
+class FrequencySketch:
+    """A count-min sketch of access frequencies (the TinyLFU filter).
+
+    Four rows of 4-bit-saturating counters (stored as ``uint8`` capped
+    at 15); :meth:`estimate` is the minimum over the rows.  After
+    ``10 * capacity`` increments every counter is halved — the classic
+    TinyLFU aging step, which makes the sketch track *recent* popularity
+    instead of all of history (a one-pass scan can never saturate it).
+
+    A *doorkeeper* set absorbs first sightings: a key's first access in
+    each sample period only records membership, and only repeat accesses
+    touch the count-min rows.  Without it a heavy one-pass scan floods
+    the rows with single-count increments and the resulting collision
+    noise hands fresh keys phantom frequencies (enough to beat an aged
+    victim and defeat admission).  The doorkeeper contributes 1 to
+    :meth:`estimate` and is cleared at every aging step.
+    """
+
+    _ROW_SEEDS = (0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F)
+    _MIX = 0x9E3779B97F4A7C15
+    _MAX = 15
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServingError("sketch capacity must be at least 1")
+        width = 1 << max(8, int(capacity).bit_length())
+        self._mask = width - 1
+        self._rows = np.zeros((len(self._ROW_SEEDS), width), dtype=np.uint8)
+        self._doorkeeper: set[Hashable] = set()
+        self._increments = 0
+        self._sample_size = 10 * capacity
+
+    def _columns(self, key: Hashable) -> list[int]:
+        h = hash(key)
+        return [
+            (((h ^ seed) * self._MIX) >> 17) & self._mask
+            for seed in self._ROW_SEEDS
+        ]
+
+    def increment(self, key: Hashable) -> None:
+        """Record one access to ``key`` (ages the sketch periodically)."""
+        if key not in self._doorkeeper:
+            self._doorkeeper.add(key)
+        else:
+            rows = self._rows
+            for row, column in enumerate(self._columns(key)):
+                if rows[row, column] < self._MAX:
+                    rows[row, column] += 1
+        self._increments += 1
+        if self._increments >= self._sample_size:
+            self._rows >>= 1
+            self._doorkeeper.clear()
+            self._increments //= 2
+
+    def estimate(self, key: Hashable) -> int:
+        """Approximate recent access count of ``key`` (0–15)."""
+        rows = self._rows
+        counted = min(
+            int(rows[row, column])
+            for row, column in enumerate(self._columns(key))
+        )
+        if key in self._doorkeeper:
+            counted += 1
+        return min(counted, self._MAX)
 
 
 class EstimateCache:
@@ -108,9 +196,25 @@ class EstimateCache:
     only compete in the global LRU).
 
     ``ttl_seconds`` (optional) expires entries that many seconds after
-    insertion; expiry is checked on read (no background thread), so an
-    expired entry lingers in memory only until it is next looked up,
-    evicted by the LRU, or invalidated.
+    insertion.  Expired entries are swept *before* they can influence
+    anything observable: they are excluded from :meth:`__len__` and
+    :meth:`entries_for`, and a full cache sweeps its expired entries
+    before evicting any live one — a dead entry never squats in capacity
+    while a live entry gets pushed out.  The sweep is O(1) amortised: a
+    deadline-ordered deque (insertion order equals deadline order, the
+    TTL is constant) is popped from the front; no background thread.
+
+    ``admission="tinylfu"`` puts a TinyLFU frequency filter in front of
+    the LRU: at global capacity a *new* key is admitted only if its
+    recent lookup frequency (a :class:`FrequencySketch`, incremented on
+    every ``get`` — hits and misses alike) is at least 2 and exceeds
+    the LRU victim's.  One-pass scans — plan enumeration over thousands
+    of never-repeated predicates — then bounce off the filter instead
+    of flushing the hot working set.
+    Default is plain LRU admission.
+
+    ``clock`` (default :func:`time.monotonic`) is injectable for
+    deterministic TTL tests.
     """
 
     def __init__(
@@ -118,6 +222,8 @@ class EstimateCache:
         capacity: int = 4096,
         per_key_capacity: int | None = None,
         ttl_seconds: float | None = None,
+        admission: str | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if capacity < 1:
             raise ServingError("cache capacity must be at least 1")
@@ -125,9 +231,18 @@ class EstimateCache:
             raise ServingError("per_key_capacity must be at least 1")
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ServingError("ttl_seconds must be positive when set")
+        if admission not in (None, "lru", "tinylfu"):
+            raise ServingError(
+                f"unknown admission policy {admission!r}; "
+                "expected None, 'lru', or 'tinylfu'"
+            )
         self._capacity = capacity
         self._per_key_capacity = per_key_capacity
         self._ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._sketch = (
+            FrequencySketch(capacity) if admission == "tinylfu" else None
+        )
         self._lock = threading.Lock()
         # Values are floats, or (value, expiry-deadline) pairs when a TTL
         # is configured; the unbudgeted, un-TTL'd cache keeps the PR 1
@@ -135,6 +250,11 @@ class EstimateCache:
         self._entries: "OrderedDict[Hashable, float | tuple[float, float]]" = (
             OrderedDict()
         )
+        # (deadline, key) records in deadline order (TTL is constant, so
+        # append order == deadline order).  A record is stale when its
+        # key was since evicted or re-put (the entry's stored deadline is
+        # the ground truth); the sweep skips those.
+        self._expiry: "deque[tuple[float, Hashable]]" = deque()
         # model key -> its cache keys in LRU order (an OrderedDict used
         # as an ordered set).  Maintained only when a per-key budget is
         # configured; the unbudgeted cache keeps the PR 1 behaviour and
@@ -158,11 +278,13 @@ class EstimateCache:
 
     def __len__(self) -> int:
         with self._lock:
+            self._sweep_expired()
             return len(self._entries)
 
     def entries_for(self, model_key: object) -> int:
-        """How many cached estimates ``model_key`` currently holds."""
+        """How many live cached estimates ``model_key`` currently holds."""
         with self._lock:
+            self._sweep_expired()
             if self._per_key_capacity is not None:
                 bucket = self._buckets.get(model_key)
                 return 0 if bucket is None else len(bucket)
@@ -172,15 +294,17 @@ class EstimateCache:
         """Return the cached estimate, refreshing its recency; None on miss.
 
         With a TTL configured, an entry past its deadline is evicted
-        here and reported as a miss — reads are the expiry checkpoint.
+        here and reported as a miss — reads are an expiry checkpoint.
         """
         with self._lock:
+            if self._sketch is not None:
+                self._sketch.increment(key)
             entry = self._entries.get(key)
             if entry is None:
                 return None
             if self._ttl_seconds is not None:
                 value, deadline = entry
-                if time.monotonic() >= deadline:
+                if self._clock() >= deadline:
                     del self._entries[key]
                     self._discard_from_bucket(key)
                     return None
@@ -196,15 +320,35 @@ class EstimateCache:
     def put(self, key: Hashable, value: float) -> None:
         """Insert an estimate, evicting the least recently used if full.
 
-        Eviction order: the owning model key's own LRU entry while that
-        key is over its budget, then the global LRU while the cache is
-        over its total capacity.
+        Expired entries are swept *first*, so a dead entry can never
+        cause a live one's eviction.  Under TinyLFU admission, a new key
+        arriving at a full cache is admitted only if it was accessed at
+        least twice recently (a one-pass scan key is, by definition,
+        looked up once — it can never displace anything) AND its access
+        frequency beats the prospective LRU victim's.  Frequency is
+        counted by ``get`` (an access), not here: misses still count, so
+        a key that keeps coming back wins admission eventually.  Then:
+        the owning model key's own LRU entry is evicted while that key
+        is over its budget, and the global LRU while the cache is over
+        its total capacity.
         """
         with self._lock:
+            self._sweep_expired()
+            if self._sketch is not None:
+                if (
+                    key not in self._entries
+                    and len(self._entries) >= self._capacity
+                ):
+                    frequency = self._sketch.estimate(key)
+                    victim = next(iter(self._entries))
+                    if frequency < 2 or frequency <= self._sketch.estimate(
+                        victim
+                    ):
+                        return
             if self._ttl_seconds is not None:
-                self._entries[key] = (
-                    value, time.monotonic() + self._ttl_seconds
-                )
+                deadline = self._clock() + self._ttl_seconds
+                self._entries[key] = (value, deadline)
+                self._expiry.append((deadline, key))
             else:
                 self._entries[key] = value
             self._entries.move_to_end(key)
@@ -220,6 +364,31 @@ class EstimateCache:
             while len(self._entries) > self._capacity:
                 victim, _ = self._entries.popitem(last=False)
                 self._discard_from_bucket(victim)
+
+    def _sweep_expired(self) -> None:
+        """Evict every entry whose deadline has passed; caller holds the lock.
+
+        Amortised O(1): the expiry deque is deadline-ordered, so the
+        sweep pops from the front until it meets a live deadline.  A
+        popped record whose key was evicted or re-put since (the stored
+        deadline disagrees) is simply dropped — the re-put appended its
+        own record further back.
+        """
+        if self._ttl_seconds is None or not self._expiry:
+            return
+        now = self._clock()
+        entries = self._entries
+        expiry = self._expiry
+        while expiry:
+            deadline, key = expiry[0]
+            if deadline > now:
+                break
+            expiry.popleft()
+            entry = entries.get(key)
+            if entry is None or entry[1] != deadline:
+                continue
+            del entries[key]
+            self._discard_from_bucket(key)
 
     def invalidate(self, model_key: object) -> int:
         """Drop every entry belonging to ``model_key`` (on hot-swap).
@@ -244,9 +413,10 @@ class EstimateCache:
             return len(dead)
 
     def clear(self) -> None:
-        """Drop everything."""
+        """Drop everything (the frequency sketch keeps its history)."""
         with self._lock:
             self._entries.clear()
+            self._expiry.clear()
             self._buckets.clear()
 
     def _discard_from_bucket(self, key: Hashable) -> None:

@@ -35,9 +35,29 @@ from repro.estimators.backend import ServableModel
 from repro.exceptions import ServingError
 from repro.serving.snapshot import ModelSnapshot
 
-__all__ = ["ModelKey", "EstimatorRegistry", "normalize_key"]
+__all__ = ["ModelKey", "EstimatorRegistry", "SnapshotCell", "normalize_key"]
 
 PublishListener = Callable[["ModelKey", ModelSnapshot], None]
+
+
+class SnapshotCell:
+    """One key's mutable slot holding its current immutable snapshot.
+
+    The cell object is *stable* across publishes: the registry swaps
+    ``cell.snapshot`` (a single reference assignment, atomic under the
+    GIL) while the cell itself stays put.  Fast-path readers resolve the
+    cell once per key (see
+    :meth:`repro.serving.service.SelectivityService.fast_slot`) and then
+    read ``cell.snapshot`` per request with no lock and no dict hop —
+    they still observe every publish the instant it lands.  A withdrawn
+    key's cell has ``snapshot`` set to ``None``, which readers treat as
+    "unregistered".
+    """
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self, snapshot: ModelSnapshot | None) -> None:
+        self.snapshot = snapshot
 
 
 @dataclass(frozen=True, order=True)
@@ -79,7 +99,7 @@ class EstimatorRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
-        self._snapshots: dict[ModelKey, ModelSnapshot] = {}
+        self._cells: dict[ModelKey, SnapshotCell] = {}
         self._challengers: dict[ModelKey, ModelSnapshot] = {}
         self._listeners: list[PublishListener] = []
 
@@ -93,8 +113,9 @@ class EstimatorRegistry:
         snapshot unchanged, so registration never rolls a model back.
         """
         with self._lock:
-            existing = self._snapshots.get(key)
-            if existing is not None:
+            cell = self._cells.get(key)
+            if cell is not None and cell.snapshot is not None:
+                existing = cell.snapshot
                 if existing.domain is not domain and existing.domain != domain:
                     raise ServingError(
                         f"model key {key} is already registered with a "
@@ -102,19 +123,35 @@ class EstimatorRegistry:
                     )
                 return existing
             snapshot = ModelSnapshot(version=0, domain=domain, model=None)
-            self._snapshots[key] = snapshot
+            self._cells[key] = SnapshotCell(snapshot)
             return snapshot
+
+    def cell(self, key: ModelKey) -> SnapshotCell:
+        """The stable snapshot cell for ``key`` (raises if unknown).
+
+        Fast-path readers resolve this once and then read
+        ``cell.snapshot`` lock-free per request; ``None`` there means the
+        key has since been withdrawn.
+        """
+        with self._lock:
+            try:
+                return self._cells[key]
+            except KeyError as error:
+                raise ServingError(
+                    f"no model registered for key {key}; "
+                    f"known keys: {sorted(map(str, self._cells))}"
+                ) from error
 
     def current(self, key: ModelKey) -> ModelSnapshot:
         """The snapshot currently serving ``key`` (raises if unknown)."""
         with self._lock:
-            try:
-                return self._snapshots[key]
-            except KeyError as error:
+            cell = self._cells.get(key)
+            if cell is None or cell.snapshot is None:
                 raise ServingError(
                     f"no model registered for key {key}; "
-                    f"known keys: {sorted(map(str, self._snapshots))}"
-                ) from error
+                    f"known keys: {sorted(map(str, self._cells))}"
+                )
+            return cell.snapshot
 
     def version(self, key: ModelKey) -> int:
         """Current version number for ``key``."""
@@ -123,11 +160,11 @@ class EstimatorRegistry:
     def keys(self) -> Sequence[ModelKey]:
         """All registered model keys."""
         with self._lock:
-            return tuple(self._snapshots)
+            return tuple(self._cells)
 
     def __contains__(self, key: ModelKey) -> bool:
         with self._lock:
-            return key in self._snapshots
+            return key in self._cells
 
     def remove(self, key: ModelKey) -> ModelSnapshot:
         """Withdraw a key from the registry, returning its final snapshot.
@@ -145,11 +182,17 @@ class EstimatorRegistry:
                     "remove or promote it before withdrawing the champion"
                 )
             try:
-                return self._snapshots.pop(key)
+                cell = self._cells.pop(key)
             except KeyError as error:
                 raise ServingError(
                     f"cannot remove unregistered key {key}"
                 ) from error
+            snapshot = cell.snapshot
+            # Outstanding fast slots still hold this cell; None tells
+            # them the key is gone so they re-raise instead of serving
+            # a withdrawn model.
+            cell.snapshot = None
+            return snapshot
 
     # ------------------------------------------------------------------
     # Publication (the hot-swap)
@@ -171,7 +214,8 @@ class EstimatorRegistry:
         if model is None:
             raise ServingError("cannot publish an empty model")
         with self._lock:
-            current = self._snapshots.get(key)
+            cell = self._cells.get(key)
+            current = cell.snapshot if cell is not None else None
             if current is None:
                 raise ServingError(
                     f"cannot publish to unregistered key {key}; "
@@ -183,7 +227,7 @@ class EstimatorRegistry:
                 model=model,
                 trained_on=trained_on,
             )
-            self._snapshots[key] = snapshot
+            cell.snapshot = snapshot
             listeners = tuple(self._listeners)
         for listener in listeners:
             listener(key, snapshot)
@@ -221,7 +265,8 @@ class EstimatorRegistry:
         a key carries at most one challenger at a time.
         """
         with self._lock:
-            champion = self._snapshots.get(key)
+            champion_cell = self._cells.get(key)
+            champion = champion_cell.snapshot if champion_cell else None
             if champion is None:
                 raise ServingError(
                     f"cannot register a challenger for unregistered key {key}"
@@ -312,7 +357,8 @@ class EstimatorRegistry:
         serve.  Publish listeners fire (this *is* a champion publish).
         """
         with self._lock:
-            champion = self._snapshots.get(key)
+            cell = self._cells.get(key)
+            champion = cell.snapshot if cell is not None else None
             if champion is None:
                 raise ServingError(f"cannot promote unregistered key {key}")
             challenger = self._challengers.get(key)
@@ -331,7 +377,7 @@ class EstimatorRegistry:
                 model=challenger.model,
                 trained_on=challenger.trained_on,
             )
-            self._snapshots[key] = snapshot
+            cell.snapshot = snapshot
             del self._challengers[key]
             listeners = tuple(self._listeners)
         for listener in listeners:
@@ -341,6 +387,8 @@ class EstimatorRegistry:
     def __repr__(self) -> str:
         with self._lock:
             parts = ", ".join(
-                f"{key}=v{snap.version}" for key, snap in self._snapshots.items()
+                f"{key}=v{cell.snapshot.version}"
+                for key, cell in self._cells.items()
+                if cell.snapshot is not None
             )
         return f"EstimatorRegistry({parts})"

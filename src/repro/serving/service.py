@@ -61,12 +61,17 @@ from repro.estimators.backend import TrainableBackend, as_backend
 from repro.exceptions import ServingError
 from repro.serving.cache import EstimateCache, predicate_cache_key
 from repro.serving.policy import RefitDecision, RefitPolicy
-from repro.serving.registry import EstimatorRegistry, ModelKey, normalize_key
+from repro.serving.registry import (
+    EstimatorRegistry,
+    ModelKey,
+    SnapshotCell,
+    normalize_key,
+)
 from repro.serving.scheduler import RefitScheduler
 from repro.serving.snapshot import ModelSnapshot
 from repro.serving.stats import ServingStats
 
-__all__ = ["SelectivityService"]
+__all__ = ["FastSlot", "SelectivityService"]
 
 PredicateLike = Predicate | Hyperrectangle | Region
 
@@ -128,6 +133,155 @@ class _ChallengerModel(_ServedModel):
         self.mirror_seen = 0
 
 
+class FastSlot:
+    """Single-dispatch scalar reads for one model key.
+
+    A slot resolves everything per-*key* exactly once — the registry's
+    stable :class:`~repro.serving.registry.SnapshotCell`, the result
+    cache, and the stats sink — so each :meth:`estimate` costs one
+    GIL-atomic ``cell.snapshot`` read, one cache round-trip, and an
+    *amortised* stats flush, instead of
+    :meth:`SelectivityService.estimate`'s per-request chain of key
+    normalisation → registry lock → cache → stats lock.  Publishes are
+    observed instantly (the cell is swapped in place); a withdrawn key
+    makes the next call re-resolve through the registry and raise the
+    usual :class:`~repro.exceptions.ServingError`.
+
+    ``flush_every`` scalar calls are accumulated before one bulk
+    :meth:`~repro.serving.stats.ServingStats.record_estimates`; with
+    ``flush_every=1`` every call records immediately (the exact
+    semantics of :meth:`SelectivityService.estimate`, which routes
+    through such a slot).  Buffered slots (``flush_every > 1``) are
+    single-burst objects: use one per thread and :meth:`flush` (or rely
+    on the owner's flush hooks) before reading the stats.
+
+    On top of the shared (locked) :class:`EstimateCache`, a slot keeps
+    a small *snapshot-scoped memo* keyed by predicate identity: an
+    optimizer that re-probes the same predicate objects during plan
+    enumeration is answered by one unlocked dict lookup, skipping even
+    the structural cache-key derivation.  The memo is correct by
+    construction — an estimate for a given snapshot never changes, and
+    the memo is discarded whenever the snapshot object does (publish,
+    promote, re-register) — and bounded at ``_MEMO_LIMIT`` entries.
+    """
+
+    __slots__ = (
+        "key",
+        "_registry",
+        "_cell",
+        "_cache",
+        "_stats",
+        "_flush_every",
+        "_pending",
+        "_pending_hits",
+        "_pending_latencies",
+        "_memo",
+        "_memo_snapshot",
+    )
+
+    _MEMO_LIMIT = 4096
+
+    def __init__(
+        self,
+        key: ModelKey,
+        registry: EstimatorRegistry,
+        cell: SnapshotCell,
+        cache: EstimateCache,
+        stats: ServingStats,
+        flush_every: int = 64,
+    ) -> None:
+        if flush_every < 1:
+            raise ServingError("flush_every must be at least 1")
+        self.key = key
+        self._registry = registry
+        self._cell = cell
+        self._cache = cache
+        self._stats = stats
+        self._flush_every = flush_every
+        self._pending = 0
+        self._pending_hits = 0
+        self._pending_latencies: list[float] = []
+        # id(predicate) -> (predicate, value); the predicate is stored
+        # to pin it alive, so its id cannot be recycled while memoised.
+        self._memo: dict[int, tuple[PredicateLike, float]] = {}
+        self._memo_snapshot: ModelSnapshot | None = None
+
+    def snapshot(self) -> ModelSnapshot:
+        """The key's current snapshot, lock-free on the happy path."""
+        snapshot = self._cell.snapshot
+        if snapshot is None:
+            # The key was withdrawn (and possibly re-registered with a
+            # fresh cell): re-resolve once through the registry, which
+            # raises the usual ServingError if the key is gone.
+            self._cell = self._registry.cell(self.key)
+            snapshot = self._cell.snapshot
+            if snapshot is None:
+                raise ServingError(
+                    f"no model registered for key {self.key}"
+                )
+        return snapshot
+
+    def estimate(self, predicate: PredicateLike) -> float:
+        """One scalar estimate against the key's current snapshot."""
+        start = time.perf_counter()
+        snapshot = self.snapshot()
+        if snapshot is not self._memo_snapshot:
+            self._memo = {}
+            self._memo_snapshot = snapshot
+        memo_entry = self._memo.get(id(predicate))
+        if memo_entry is not None:
+            value = memo_entry[1]
+            hit = True
+        else:
+            try:
+                cache_key = (
+                    self.key,
+                    snapshot.version,
+                    predicate_cache_key(predicate),
+                )
+            except ServingError:
+                cache_key = None
+            hit = False
+            if cache_key is not None:
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    value = cached
+                    hit = True
+                else:
+                    value = float(snapshot.estimate(predicate))
+                    self._cache.put(cache_key, value)
+            else:
+                value = float(snapshot.estimate(predicate))
+            if len(self._memo) < self._MEMO_LIMIT:
+                self._memo[id(predicate)] = (predicate, value)
+        elapsed = time.perf_counter() - start
+        if self._flush_every == 1:
+            self._stats.record_estimate(elapsed, hit)
+        else:
+            self._pending += 1
+            if hit:
+                self._pending_hits += 1
+            self._pending_latencies.append(elapsed)
+            if self._pending >= self._flush_every:
+                self.flush()
+        return value
+
+    def flush(self) -> None:
+        """Push any buffered request accounting into the stats sink."""
+        if not self._pending:
+            return
+        pending = self._pending
+        hits = self._pending_hits
+        latencies = self._pending_latencies
+        self._pending = 0
+        self._pending_hits = 0
+        self._pending_latencies = []
+        self._stats.record_estimates(pending, hits, latencies)
+
+    def __repr__(self) -> str:
+        return f"FastSlot(key={self.key}, flush_every={self._flush_every})"
+
+
 class SelectivityService:
     """Versioned, cached, batch-capable selectivity estimation service."""
 
@@ -150,6 +304,11 @@ class SelectivityService:
         self._stats = stats if stats is not None else ServingStats()
         self._served: dict[ModelKey, _ServedModel] = {}
         self._challengers: dict[ModelKey, _ChallengerModel] = {}
+        # Per-key immediate-flush slots the scalar/batch read paths
+        # route through, keyed by the caller's raw ``table`` argument
+        # (columns empty) or the normalised ModelKey — so repeat reads
+        # skip key normalisation and the registry lock entirely.
+        self._fast_slots: dict[object, FastSlot] = {}
         self._lock = threading.RLock()
         self._closed = False
         self._registry.add_listener(self._on_publish)
@@ -284,6 +443,7 @@ class SelectivityService:
                 ) from error
         with served.lock:
             self._registry.remove(key)
+        self._purge_fast_slots(key)
         self._cache.invalidate(key)
         self._stats.forget_backend_errors(key)
         return served.trainer
@@ -583,6 +743,71 @@ class SelectivityService:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    def fast_slot(
+        self,
+        table: str | ModelKey,
+        columns: Sequence[str] = (),
+        flush_every: int = 64,
+    ) -> FastSlot:
+        """A single-dispatch read handle for one key (burst fast path).
+
+        Resolves the key's snapshot cell, cache, and stats sink once;
+        the returned :class:`FastSlot` then serves scalar estimates with
+        no key normalisation, no registry lock, and stats buffered
+        across ``flush_every`` calls (call
+        :meth:`FastSlot.flush` — or use ``flush_every=1`` — before
+        reading the stats).  Estimates are identical to
+        :meth:`estimate`, including caching and version semantics.
+        """
+        key = self._key(table, columns)
+        return FastSlot(
+            key,
+            self._registry,
+            self._registry.cell(key),
+            self._cache,
+            self._stats,
+            flush_every=flush_every,
+        )
+
+    def _fast_slot_for(
+        self, table: str | ModelKey, columns: Sequence[str]
+    ) -> FastSlot:
+        """The service's internal immediate-flush slot for a key.
+
+        Aliased by the raw ``table`` argument when ``columns`` is empty
+        (the overwhelmingly common call shape), so a repeat read costs
+        one dict hit; reads with explicit columns alias by normalised
+        key.  Slots survive unregister/re-register cycles by
+        re-resolving their cell through the registry (see
+        :meth:`FastSlot.snapshot`).
+        """
+        alias: object = table if not columns else self._key(table, columns)
+        slot = self._fast_slots.get(alias)
+        if slot is not None:
+            return slot
+        key = alias if isinstance(alias, ModelKey) else self._key(table, columns)
+        slot = FastSlot(
+            key,
+            self._registry,
+            self._registry.cell(key),
+            self._cache,
+            self._stats,
+            flush_every=1,
+        )
+        with self._lock:
+            return self._fast_slots.setdefault(alias, slot)
+
+    def _purge_fast_slots(self, key: ModelKey) -> None:
+        """Drop the internal slot aliases pointing at a withdrawn key."""
+        with self._lock:
+            stale = [
+                alias
+                for alias, slot in self._fast_slots.items()
+                if slot.key == key
+            ]
+            for alias in stale:
+                del self._fast_slots[alias]
+
     def estimate(
         self,
         table: str | ModelKey,
@@ -590,12 +815,7 @@ class SelectivityService:
         columns: Sequence[str] = (),
     ) -> float:
         """Estimate one predicate's selectivity from the current snapshot."""
-        key = self._key(table, columns)
-        start = time.perf_counter()
-        snapshot = self._registry.current(key)
-        value, hit = self._estimate_cached(key, snapshot, predicate)
-        self._stats.record_estimate(time.perf_counter() - start, hit)
-        return value
+        return self._fast_slot_for(table, columns).estimate(predicate)
 
     def estimate_batch(
         self,
@@ -609,9 +829,10 @@ class SelectivityService:
         once at entry).  Cache hits are filled directly; all misses are
         evaluated in a single vectorised pass and then cached.
         """
-        key = self._key(table, columns)
+        slot = self._fast_slot_for(table, columns)
+        key = slot.key
         start = time.perf_counter()
-        snapshot = self._registry.current(key)
+        snapshot = slot.snapshot()
         results = np.empty(len(predicates))
         miss_indices: list[int] = []
         miss_predicates: list[PredicateLike] = []

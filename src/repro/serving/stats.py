@@ -81,6 +81,28 @@ class ServingStats:
                 self.cache_misses += 1
             self._latencies.append(seconds)
 
+    def record_estimates(
+        self, count: int, hits: int, latencies: Sequence[float]
+    ) -> None:
+        """Record a burst of scalar estimate calls under one lock acquisition.
+
+        The fast-slot flush path (see
+        :meth:`~repro.serving.service.SelectivityService.fast_slot`):
+        ``count`` scalar requests of which ``hits`` were cache hits, with
+        their individual latencies — identical totals to ``count``
+        :meth:`record_estimate` calls, at one lock round-trip.
+        """
+        if count < 0 or hits < 0 or hits > count:
+            raise ServingError("need 0 <= hits <= count")
+        if count == 0:
+            return
+        with self._lock:
+            self.estimate_requests += count
+            self.predicates_served += count
+            self.cache_hits += hits
+            self.cache_misses += count - hits
+            self._latencies.extend(latencies)
+
     def record_batch(self, count: int, hits: int, seconds: float) -> None:
         """Record one ``estimate_batch`` call covering ``count`` predicates."""
         with self._lock:
